@@ -1,0 +1,346 @@
+//! Text tables and ASCII charts for the benchmark harness.
+//!
+//! Every per-figure benchmark binary prints the same rows/series the
+//! paper reports; these helpers keep that output consistent.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with blanks.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{cell:>width$}", width = widths[i]);
+            }
+            writeln!(f, "{line}")
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named data series (e.g. one speedup curve of a figure).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new<S: Into<String>>(name: S) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at the largest x (e.g. speedup at 16 processors).
+    pub fn final_y(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|p| p.1)
+    }
+}
+
+/// Renders one or more series as an ASCII chart (the harness's stand-in
+/// for the paper's figures), with one plot glyph per series.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (0.0f64, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        return String::from("(no data)\n");
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:>8.1} |")
+        } else if i == height - 1 {
+            format!("{ymin:>8.1} |")
+        } else {
+            format!("{:>8} |", "")
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label}{line}");
+    }
+    let _ = writeln!(out, "{:>9}+{}", "", "-".repeat(width));
+    let _ = writeln!(out, "{:>10}{:<10.1}{:>width$.1}", "", xmin, xmax, width = width - 10);
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:>10}{} = {}", "", GLYPHS[si % GLYPHS.len()], s.name);
+    }
+    out
+}
+
+/// A minimal JSON writer for experiment artifacts (dependency-free; the
+/// benchmark binaries use it to emit machine-readable results alongside
+/// the text tables).
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A JSON value assembled by the writer.
+    #[derive(Clone, Debug)]
+    pub enum Value {
+        /// A JSON number (finite f64; NaN/inf serialize as null).
+        Num(f64),
+        /// A JSON string.
+        Str(String),
+        /// A JSON boolean.
+        Bool(bool),
+        /// A JSON array.
+        Arr(Vec<Value>),
+        /// A JSON object with ordered keys.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Convenience constructor for objects.
+        pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+            Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+
+        /// Serializes the value to a JSON string.
+        pub fn to_json(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out);
+            out
+        }
+
+        fn write(&self, out: &mut String) {
+            match self {
+                Value::Num(n) => {
+                    if n.is_finite() {
+                        let _ = write!(out, "{n}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Value::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                Value::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            c if (c as u32) < 0x20 => {
+                                let _ = write!(out, "\\u{:04x}", c as u32);
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Value::Arr(items) => {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        v.write(out);
+                    }
+                    out.push(']');
+                }
+                Value::Obj(fields) => {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        Value::Str(k.clone()).write(out);
+                        out.push(':');
+                        v.write(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    /// Serializes a named set of (x, y) series — the standard shape of a
+    /// figure's data.
+    pub fn series_artifact(name: &str, series: &[super::Series]) -> String {
+        Value::obj(vec![
+            ("figure", Value::Str(name.to_string())),
+            (
+                "series",
+                Value::Arr(
+                    series
+                        .iter()
+                        .map(|s| {
+                            Value::obj(vec![
+                                ("name", Value::Str(s.name.clone())),
+                                (
+                                    "points",
+                                    Value::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|&(x, y)| {
+                                                Value::Arr(vec![Value::Num(x), Value::Num(y)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_aligned() {
+        let mut t = Table::new(vec!["p", "speedup"]);
+        t.row(vec!["1", "1.00"]);
+        t.row(vec!["16", "13.50"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("speedup"));
+        assert!(lines[2].trim_start().starts_with('1'));
+        // All data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        assert!(t.to_string().lines().count() >= 3);
+    }
+
+    #[test]
+    fn series_final_y() {
+        let mut s = Series::new("x");
+        assert_eq!(s.final_y(), None);
+        s.push(1.0, 1.0);
+        s.push(16.0, 13.5);
+        s.push(8.0, 7.0);
+        assert_eq!(s.final_y(), Some(13.5));
+    }
+
+    #[test]
+    fn json_writer_escapes_and_nests() {
+        use super::json::Value;
+        let v = Value::obj(vec![
+            ("name", Value::Str("a\"b\nc".to_string())),
+            ("n", Value::Num(1.5)),
+            ("ok", Value::Bool(true)),
+            ("xs", Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)])),
+        ]);
+        let s = v.to_json();
+        assert_eq!(s, "{\"name\":\"a\\\"b\\nc\",\"n\":1.5,\"ok\":true,\"xs\":[1,2]}");
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn series_artifact_round_trips_visually() {
+        let mut s = Series::new("platinum");
+        s.push(1.0, 1.0);
+        s.push(16.0, 13.5);
+        let j = super::json::series_artifact("fig1", &[s]);
+        assert!(j.contains("\"figure\":\"fig1\""));
+        assert!(j.contains("[16,13.5]"));
+    }
+
+    #[test]
+    fn chart_renders() {
+        let mut s = Series::new("linear");
+        for p in 1..=16 {
+            s.push(p as f64, p as f64);
+        }
+        let chart = ascii_chart(&[s], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("linear"));
+        assert_eq!(ascii_chart(&[], 40, 10), "(no data)\n");
+    }
+}

@@ -1,0 +1,441 @@
+//! Gaussian elimination (§5.1 of the paper, Figure 1).
+//!
+//! "This particular problem was chosen because it was used in performance
+//! studies of programming systems on earlier versions of the Butterfly.
+//! It simulates Gaussian elimination in the sense that it uses integer
+//! rather than floating-point operations, thus emphasizing the relative
+//! impact of memory performance."
+//!
+//! Three implementations of the same computation, one per programming
+//! system in LeBlanc's comparison:
+//!
+//! * [`run_shared`] — the PLATINUM style: one thread per processor,
+//!   statically allocated rows, the pivot row read through transparent
+//!   coherent memory (17 lines of elimination-phase code in the paper).
+//!   Also serves as the static-placement baseline when the kernel runs
+//!   the `NeverReplicate` policy.
+//! * [`run_uniform_system`] — the Uniform System style: static data
+//!   placement plus an *explicit* copy of the pivot row into a private
+//!   buffer each round (the coarse-grain version LeBlanc found fastest
+//!   on the US).
+//! * [`run_message_passing`] — the SMP style: private rows, the pivot row
+//!   broadcast down a binomial tree of port messages.
+//!
+//! All variants compute bit-identical results (wrapping integer
+//! arithmetic, elimination without pivoting), so cross-variant checksum
+//! equality is a strong end-to-end test of the whole stack.
+
+use numa_machine::{Mem, Va};
+use platinum_runtime::sync::EventCount;
+use platinum_runtime::zones::Zone;
+use platinum::{Port, UserCtx};
+
+/// Problem configuration.
+#[derive(Clone, Debug)]
+pub struct GaussConfig {
+    /// Matrix dimension (the paper uses 800).
+    pub n: usize,
+    /// Modelled computation per eliminated element, ns. On the 16.67 MHz
+    /// MC68020 an integer multiply alone takes ~2.6 us; with the
+    /// subtract, indexing, and loop overhead an eliminated element costs
+    /// about 3 us of CPU work.
+    pub compute_ns_per_elem: u64,
+    /// Seed for the initial matrix contents.
+    pub seed: u64,
+}
+
+impl Default for GaussConfig {
+    fn default() -> Self {
+        Self {
+            n: 800,
+            compute_ns_per_elem: 3000,
+            seed: 0x5EED_1234,
+        }
+    }
+}
+
+/// The shared-memory layout: matrix rows are page-aligned (one or more
+/// pages per row) so rows owned by different threads never share a page —
+/// the §6 allocation discipline.
+#[derive(Clone, Debug)]
+pub struct GaussLayout {
+    /// Base of row 0.
+    pub matrix: Va,
+    /// Distance between consecutive rows, in words.
+    pub row_stride_words: usize,
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl GaussLayout {
+    /// Allocates the matrix from `zone`, one page-aligned region per row.
+    pub fn alloc(zone: &mut Zone, n: usize, page_words: usize) -> Self {
+        let stride = n.div_ceil(page_words) * page_words;
+        let matrix = zone.alloc_page_aligned(stride * n);
+        Self {
+            matrix,
+            row_stride_words: stride,
+            n,
+        }
+    }
+
+    /// The address of element (row, col).
+    #[inline]
+    pub fn elem(&self, row: usize, col: usize) -> Va {
+        self.matrix + 4 * (row * self.row_stride_words + col) as u64
+    }
+
+    /// The number of pages the matrix occupies.
+    pub fn pages(&self, page_words: usize) -> usize {
+        (self.row_stride_words * self.n).div_ceil(page_words)
+    }
+}
+
+/// Deterministic initial value for element (i, j).
+#[inline]
+fn initial(seed: u64, i: usize, j: usize) -> i32 {
+    let x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((i as u64) << 32 | j as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    ((x >> 24) as i32) % 1000 + 1
+}
+
+/// Rows owned by `tid` of `p` (interleaved static allocation).
+#[inline]
+pub fn owns(tid: usize, p: usize, row: usize) -> bool {
+    row % p == tid
+}
+
+/// Initializes the rows owned by `tid`: first touch places each row on
+/// its owner's node.
+pub fn init_owned_rows<M: Mem>(m: &mut M, lay: &GaussLayout, cfg: &GaussConfig, tid: usize, p: usize) {
+    let mut buf = vec![0u32; lay.n];
+    for row in (0..lay.n).filter(|r| owns(tid, p, *r)) {
+        for (j, b) in buf.iter_mut().enumerate() {
+            *b = initial(cfg.seed, row, j) as u32;
+        }
+        m.write_block(lay.elem(row, 0), &buf);
+    }
+}
+
+/// The memory node the Uniform System's scatter storage places `row` on:
+/// pseudo-random, decoupled from task ownership.
+#[inline]
+pub fn scatter_node(row: usize, nodes: usize) -> usize {
+    ((row as u64).wrapping_mul(2654435761) >> 16) as usize % nodes
+}
+
+/// Initializes the rows that scatter storage places on `node` — the
+/// Uniform System's storage discipline spreads data over the whole
+/// machine regardless of which task will use it, so most references are
+/// remote at any processor count.
+pub fn init_scattered_rows<M: Mem>(
+    m: &mut M,
+    lay: &GaussLayout,
+    cfg: &GaussConfig,
+    node: usize,
+    nodes: usize,
+) {
+    let mut buf = vec![0u32; lay.n];
+    for row in (0..lay.n).filter(|r| scatter_node(*r, nodes) == node) {
+        for (j, b) in buf.iter_mut().enumerate() {
+            *b = initial(cfg.seed, row, j) as u32;
+        }
+        m.write_block(lay.elem(row, 0), &buf);
+    }
+}
+
+/// One thread's elimination loop over shared coherent memory.
+///
+/// The pivot row for round `k` is ready once event count `ec` reaches
+/// `k + 1`; the owner of row `k + 1` advances `ec` as soon as it has
+/// updated that row, pipelining rounds exactly as the coarse-grain
+/// implementation in the paper.
+pub fn run_shared<M: Mem>(
+    m: &mut M,
+    lay: &GaussLayout,
+    cfg: &GaussConfig,
+    ec: &EventCount,
+    tid: usize,
+    p: usize,
+) {
+    let n = lay.n;
+    let mut pivot = vec![0u32; n];
+    let mut row_buf = vec![0u32; n];
+    if tid == 0 {
+        // Row 0 is final as soon as initialization finished.
+        ec.advance(m);
+    }
+    for k in 0..n.saturating_sub(1) {
+        ec.await_at_least(m, k as u32 + 1);
+        let width = n - k;
+        for i in (k + 1..n).filter(|r| owns(tid, p, *r)) {
+            // Transparent style: the inner loop reads the pivot row from
+            // coherent memory for every row it eliminates (the natural
+            // `a[k][j]` indexing of the 17-line version). The first touch
+            // faults and (policy permitting) replicates the page, after
+            // which all these references are local.
+            m.read_block(lay.elem(k, k), &mut pivot[..width]);
+            m.read_block(lay.elem(i, k), &mut row_buf[..width]);
+            eliminate(&mut row_buf[..width], &pivot[..width]);
+            m.compute(cfg.compute_ns_per_elem * width as u64);
+            m.write_block(lay.elem(i, k), &row_buf[..width]);
+            if i == k + 1 {
+                ec.advance(m);
+            }
+        }
+    }
+}
+
+/// The elimination kernel: `row -= factor * pivot`, wrapping integer
+/// arithmetic (the "simulated" elimination of the paper — no pivoting, no
+/// division).
+#[inline]
+fn eliminate(row: &mut [u32], pivot: &[u32]) {
+    let factor = row[0] as i32;
+    for (r, &pv) in row.iter_mut().zip(pivot.iter()) {
+        *r = (*r as i32).wrapping_sub(factor.wrapping_mul(pv as i32)) as u32;
+    }
+}
+
+/// The §4.2 anecdote: the same elimination loop, but with the paper's
+/// two pathologies built in. A shared "matrix size" variable at
+/// `msize_va` is read in the termination test of the inner loop (one
+/// read per element), and a barrier is taken at the start of the
+/// elimination phase. When the harness co-locates the barrier's words
+/// with `msize_va` on one page, the barrier traffic freezes that page
+/// and every inner-loop read becomes a remote reference — "this
+/// dramatically increased the execution time and became a bottleneck
+/// with five or more processors". Thawing (the defrost daemon) or
+/// separated allocation recovers the performance.
+#[allow(clippy::too_many_arguments)] // mirrors run_shared + the anecdote's two extra knobs
+pub fn run_shared_anecdote<M: Mem>(
+    m: &mut M,
+    lay: &GaussLayout,
+    cfg: &GaussConfig,
+    ec: &EventCount,
+    tid: usize,
+    p: usize,
+    msize_va: Va,
+    start: &platinum_runtime::sync::Barrier,
+) {
+    // The spin-lock barrier at the start of the elimination phase.
+    start.wait(m);
+    let n = lay.n;
+    let mut pivot = vec![0u32; n];
+    let mut row_buf = vec![0u32; n];
+    if tid == 0 {
+        ec.advance(m);
+    }
+    for k in 0..n.saturating_sub(1) {
+        ec.await_at_least(m, k as u32 + 1);
+        let width = n - k;
+        m.read_block(lay.elem(k, k), &mut pivot[..width]);
+        for i in (k + 1..n).filter(|r| owns(tid, p, *r)) {
+            m.read_block(lay.elem(i, k), &mut row_buf[..width]);
+            // The inner loop's termination test reads the shared matrix
+            // size once per element.
+            let mut j = 0;
+            while j < width {
+                let _n_now = m.read(msize_va);
+                j += 1;
+            }
+            eliminate(&mut row_buf[..width], &pivot[..width]);
+            m.compute(cfg.compute_ns_per_elem * width as u64);
+            m.write_block(lay.elem(i, k), &row_buf[..width]);
+            if i == k + 1 {
+                ec.advance(m);
+            }
+        }
+    }
+}
+
+/// The Uniform-System-style thread body: the same coarse-grain
+/// row-partitioned computation, run over scatter-stored data with no
+/// replication — every reference to a row stored on another node crosses
+/// the switch, at every processor count.
+///
+/// Run it on a kernel configured with the `NeverReplicate` policy and
+/// initialize the matrix with [`init_scattered_rows`].
+pub fn run_uniform_system<M: Mem>(
+    m: &mut M,
+    lay: &GaussLayout,
+    cfg: &GaussConfig,
+    ec: &EventCount,
+    tid: usize,
+    p: usize,
+) {
+    // Same structure; the differences are the policy the kernel runs
+    // (static placement) and the scattered storage, which together make
+    // the block reads remote.
+    run_shared(m, lay, cfg, ec, tid, p)
+}
+
+/// The SMP-style message-passing implementation: each thread keeps its
+/// rows in pages nobody else ever touches, and the pivot row travels by
+/// port messages down a binomial broadcast tree rooted at the owner.
+///
+/// `ports[t]` is thread `t`'s receive port.
+pub fn run_message_passing(
+    ctx: &mut UserCtx,
+    lay: &GaussLayout,
+    cfg: &GaussConfig,
+    ports: &[std::sync::Arc<Port>],
+    tid: usize,
+    p: usize,
+) {
+    let n = lay.n;
+    let mut pivot = vec![0u32; n];
+    let mut row_buf = vec![0u32; n];
+    // Messages are tagged with their round (word 0) because broadcast
+    // trees of adjacent rounds overlap in time: a fast sender's round
+    // k+1 message can reach a port before a slow parent's round k
+    // message. Early arrivals are stashed until their round comes up.
+    let mut stash: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for k in 0..n.saturating_sub(1) {
+        let width = n - k;
+        let owner = k % p;
+        if tid == owner {
+            ctx.read_block(lay.elem(k, k), &mut pivot[..width]);
+        } else {
+            let body = match stash.remove(&(k as u32)) {
+                Some(body) => body,
+                None => loop {
+                    let msg = ctx.port_recv(&ports[tid]);
+                    let round = msg[0];
+                    let body = msg[1..].to_vec();
+                    if round == k as u32 {
+                        break body;
+                    }
+                    stash.insert(round, body);
+                },
+            };
+            pivot[..width].copy_from_slice(&body);
+        }
+        // Binomial-tree forwarding: rank relative to the owner; rank r
+        // forwards to r + 2^j for each 2^j > r.
+        let rank = (tid + p - owner) % p;
+        let mut step = 1usize;
+        while step < p {
+            if rank < step && rank + step < p {
+                let dest = (owner + rank + step) % p;
+                let mut msg = Vec::with_capacity(width + 1);
+                msg.push(k as u32);
+                msg.extend_from_slice(&pivot[..width]);
+                ctx.port_send(&ports[dest], &msg);
+            }
+            step <<= 1;
+        }
+        for i in (k + 1..n).filter(|r| owns(tid, p, *r)) {
+            ctx.read_block(lay.elem(i, k), &mut row_buf[..width]);
+            eliminate(&mut row_buf[..width], &pivot[..width]);
+            ctx.compute(cfg.compute_ns_per_elem * width as u64);
+            ctx.write_block(lay.elem(i, k), &row_buf[..width]);
+        }
+    }
+}
+
+/// Checksum of the eliminated matrix (wrapping sum of all words): equal
+/// across processor counts and across the three variants.
+pub fn checksum<M: Mem>(m: &mut M, lay: &GaussLayout) -> u64 {
+    let mut buf = vec![0u32; lay.n];
+    let mut sum = 0u64;
+    for row in 0..lay.n {
+        m.read_block(lay.elem(row, 0), &mut buf);
+        for &w in &buf {
+            sum = sum.wrapping_mul(31).wrapping_add(u64::from(w));
+        }
+    }
+    sum
+}
+
+/// Reference single-threaded elimination on host memory, for oracle
+/// checks in tests.
+pub fn reference_checksum(cfg: &GaussConfig) -> u64 {
+    let n = cfg.n;
+    let mut a: Vec<Vec<i32>> = (0..n)
+        .map(|i| (0..n).map(|j| initial(cfg.seed, i, j)).collect())
+        .collect();
+    for k in 0..n.saturating_sub(1) {
+        for i in k + 1..n {
+            let factor = a[i][k];
+            let (rows_k, rows_i) = a.split_at_mut(i);
+            let (pivot, row) = (&rows_k[k], &mut rows_i[0]);
+            for j in k..n {
+                row[j] = row[j].wrapping_sub(factor.wrapping_mul(pivot[j]));
+            }
+        }
+    }
+    let mut sum = 0u64;
+    for row in &a {
+        for &v in row {
+            sum = sum.wrapping_mul(31).wrapping_add(u64::from(v as u32));
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_partition() {
+        let p = 4;
+        for row in 0..100 {
+            let owners: Vec<usize> = (0..p).filter(|t| owns(*t, p, row)).collect();
+            assert_eq!(owners.len(), 1, "each row has exactly one owner");
+        }
+    }
+
+    #[test]
+    fn initial_values_deterministic_and_nonzero() {
+        assert_eq!(initial(1, 2, 3), initial(1, 2, 3));
+        assert_ne!(initial(1, 2, 3), initial(1, 3, 2));
+        for i in 0..50 {
+            for j in 0..50 {
+                let v = initial(42, i, j);
+                assert!((-999..=1000).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn eliminate_kernel_matches_reference() {
+        let mut row = [10u32, 20, 30];
+        let pivot = [2u32, 3, 4];
+        eliminate(&mut row, &pivot);
+        // factor = 10: row[j] -= 10 * pivot[j]
+        assert_eq!(row[0] as i32, 10 - 10 * 2);
+        assert_eq!(row[1] as i32, 20 - 10 * 3);
+        assert_eq!(row[2] as i32, 30 - 10 * 4);
+    }
+
+    #[test]
+    fn layout_rows_are_page_disjoint() {
+        let mut zone = Zone::new(0x10000, 1 << 20, 1024);
+        let lay = GaussLayout::alloc(&mut zone, 100, 1024);
+        // 100 columns fit one 1024-word page; stride is a whole page.
+        assert_eq!(lay.row_stride_words, 1024);
+        let page = |va: Va| va / 4096;
+        assert_ne!(page(lay.elem(0, 99)), page(lay.elem(1, 0)));
+    }
+
+    #[test]
+    fn reference_checksum_stable() {
+        let cfg = GaussConfig {
+            n: 24,
+            ..Default::default()
+        };
+        let a = reference_checksum(&cfg);
+        let b = reference_checksum(&cfg);
+        assert_eq!(a, b);
+        let other = reference_checksum(&GaussConfig {
+            n: 24,
+            seed: 1,
+            ..Default::default()
+        });
+        assert_ne!(a, other);
+    }
+}

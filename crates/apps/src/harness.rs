@@ -1,0 +1,394 @@
+//! Ready-made runners: boot a machine + kernel, lay out an application,
+//! run it at a given processor count, and report timing + correctness.
+//!
+//! The per-figure benchmark binaries, the examples, and the integration
+//! tests all drive the applications through these functions so that
+//! "the same program" really is the same program everywhere.
+
+use std::sync::Arc;
+
+use numa_machine::Mem;
+use platinum::{
+    AceStyle, AlwaysReplicate, NeverReplicate, PlatinumPolicy, ReplicationPolicy, StatsSnapshot,
+};
+use platinum_runtime::measure::RunStats;
+use platinum_runtime::par::{run_uma_workers, uma_machine, PlatinumHarness};
+use platinum_runtime::sync::{Barrier, EventCount};
+
+use crate::gauss::{self, GaussConfig, GaussLayout};
+use crate::mergesort::{self, SortConfig, SortLayout};
+use crate::neural::{self, NeuralConfig, NeuralLayout};
+
+/// Which replication policy to boot the kernel with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's interim policy (t1 = 10 ms, defrost-only thawing).
+    Platinum,
+    /// The §4.2 alternative: accesses may thaw expired frozen pages.
+    PlatinumThawOnAccess,
+    /// Static placement (the Uniform System / Figure 1 baseline).
+    NeverReplicate,
+    /// Replicate/migrate unconditionally (software-caching baseline).
+    AlwaysReplicate,
+    /// Bolosky et al.'s ACE policy (§8).
+    AceStyle,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn ReplicationPolicy> {
+        match self {
+            PolicyKind::Platinum => Box::new(PlatinumPolicy::paper_default()),
+            PolicyKind::PlatinumThawOnAccess => Box::new(PlatinumPolicy {
+                t1_ns: 10_000_000,
+                thaw_on_access: true,
+            }),
+            PolicyKind::NeverReplicate => Box::new(NeverReplicate),
+            PolicyKind::AlwaysReplicate => Box::new(AlwaysReplicate),
+            PolicyKind::AceStyle => Box::new(AceStyle::default()),
+        }
+    }
+
+    /// Harness display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Platinum => "PLATINUM",
+            PolicyKind::PlatinumThawOnAccess => "PLATINUM (thaw-on-access)",
+            PolicyKind::NeverReplicate => "static placement",
+            PolicyKind::AlwaysReplicate => "always-replicate",
+            PolicyKind::AceStyle => "ACE-style",
+        }
+    }
+}
+
+/// The programming style of the Figure 1 comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GaussStyle {
+    /// Transparent coherent memory under the given policy.
+    Shared(PolicyKind),
+    /// Uniform-System style: static placement + explicit pivot copy.
+    UniformSystem,
+    /// SMP style: private rows, pivot broadcast over ports.
+    MessagePassing,
+}
+
+impl GaussStyle {
+    /// Harness display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GaussStyle::Shared(PolicyKind::Platinum) => "PLATINUM coherent memory",
+            GaussStyle::Shared(k) => k.name(),
+            GaussStyle::UniformSystem => "Uniform System style",
+            GaussStyle::MessagePassing => "SMP message passing",
+        }
+    }
+}
+
+/// Outcome of one application run.
+#[derive(Clone, Debug)]
+pub struct AppRun {
+    /// Execution time of the measured phase (max worker virtual time).
+    pub elapsed_ns: u64,
+    /// Application checksum (variant-independent for Gauss; 0 when the
+    /// application verifies differently).
+    pub checksum: u64,
+    /// Kernel event counters at the end of the run (zeroes on the UMA
+    /// comparator).
+    pub kernel_stats: StatsSnapshot,
+    /// Per-run statistics.
+    pub run: RunStats,
+}
+
+/// Runs Gaussian elimination in the given style on `p` of `nodes`
+/// processors.
+pub fn run_gauss(style: GaussStyle, nodes: usize, p: usize, cfg: &GaussConfig) -> AppRun {
+    let policy = match style {
+        GaussStyle::Shared(k) => k,
+        GaussStyle::UniformSystem => PolicyKind::NeverReplicate,
+        GaussStyle::MessagePassing => PolicyKind::Platinum,
+    };
+    let h = PlatinumHarness::with_policy(nodes, policy.build());
+    let page_words = h.kernel.machine().cfg().words_per_page();
+    let stride = cfg.n.div_ceil(page_words) * page_words;
+    let pages = (stride * cfg.n).div_ceil(page_words) + 2;
+    let mut data = h.alloc_zone(pages);
+    let lay = GaussLayout::alloc(&mut data, cfg.n, page_words);
+    let mut sync = h.alloc_zone(1);
+    let ec = EventCount::new(sync.alloc_words(1));
+
+    // Initialization pass decides data placement: owners first-touch
+    // their rows, except in the Uniform System style, whose storage
+    // discipline scatters rows over every memory in the machine.
+    match style {
+        GaussStyle::UniformSystem => {
+            h.run(nodes, |node, ctx| {
+                gauss::init_scattered_rows(ctx, &lay, cfg, node, nodes)
+            });
+        }
+        _ => {
+            h.run(p, |tid, ctx| gauss::init_owned_rows(ctx, &lay, cfg, tid, p));
+        }
+    }
+
+    // Measured pass: the elimination phase, as in LeBlanc's studies.
+    let (_, run) = match style {
+        GaussStyle::Shared(_) => h.run(p, |tid, ctx| {
+            gauss::run_shared(ctx, &lay, cfg, &ec, tid, p);
+        }),
+        GaussStyle::UniformSystem => h.run(p, |tid, ctx| {
+            gauss::run_uniform_system(ctx, &lay, cfg, &ec, tid, p);
+        }),
+        GaussStyle::MessagePassing => {
+            let ports: Vec<Arc<platinum::Port>> =
+                (0..p).map(|_| h.kernel.create_port()).collect();
+            let ports = &ports;
+            let lay = &lay;
+            h.run(p, move |tid, ctx| {
+                gauss::run_message_passing(ctx, lay, cfg, ports, tid, p);
+            })
+        }
+    };
+
+    let (sums, _) = h.run(1, |_, ctx| gauss::checksum(ctx, &lay));
+    AppRun {
+        elapsed_ns: run.elapsed_ns(),
+        checksum: sums[0],
+        kernel_stats: h.kernel.stats().snapshot(),
+        run,
+    }
+}
+
+/// Runs the §4.2 anecdote: Gaussian elimination with a shared
+/// matrix-size variable read in the inner loop and a barrier at the
+/// start of the elimination phase.
+///
+/// With `colocated = true` the barrier words share a page with the
+/// matrix-size variable (the paper's original, accidental layout); with
+/// `false` they live in separate zones (the fixed layout). `t2_ns`
+/// controls the defrost daemon period — pass a huge value to model the
+/// kernel before thawing existed.
+pub fn run_gauss_anecdote(
+    nodes: usize,
+    p: usize,
+    cfg: &GaussConfig,
+    colocated: bool,
+    t2_ns: u64,
+) -> AppRun {
+    let mut machine_cfg = numa_machine::MachineConfig::with_nodes(nodes);
+    machine_cfg.frames_per_node = 4096;
+    let kcfg = platinum::KernelConfig {
+        t2_defrost_ns: t2_ns,
+        ..Default::default()
+    };
+    let h = PlatinumHarness::with_config(machine_cfg, PolicyKind::Platinum.build(), kcfg);
+    let page_words = h.kernel.machine().cfg().words_per_page();
+    let stride = cfg.n.div_ceil(page_words) * page_words;
+    let pages = (stride * cfg.n).div_ceil(page_words) + 2;
+    let mut data = h.alloc_zone(pages);
+    let lay = GaussLayout::alloc(&mut data, cfg.n, page_words);
+
+    let mut sync = h.alloc_zone(2);
+    let ec = EventCount::new(sync.alloc_page_aligned(1));
+    let (msize_va, barrier) = if colocated {
+        // The accident: the matrix-size variable and the barrier words
+        // share one page.
+        let base = sync.alloc_page_aligned(3);
+        (base, Barrier::new(base + 4, base + 8, p as u32))
+    } else {
+        // The fix: page-separated allocations.
+        let mut vars = h.alloc_zone(2);
+        let msize = vars.alloc_page_aligned(1);
+        let b = sync.alloc_page_aligned(2);
+        (msize, Barrier::new(b, b + 4, p as u32))
+    };
+
+    h.run(p, |tid, ctx| {
+        if tid == 0 {
+            ctx.write(msize_va, cfg.n as u32);
+        }
+        gauss::init_owned_rows(ctx, &lay, cfg, tid, p);
+    });
+    let (_, run) = h.run(p, |tid, ctx| {
+        gauss::run_shared_anecdote(ctx, &lay, cfg, &ec, tid, p, msize_va, &barrier);
+    });
+    let (sums, _) = h.run(1, |_, ctx| gauss::checksum(ctx, &lay));
+    AppRun {
+        elapsed_ns: run.elapsed_ns(),
+        checksum: sums[0],
+        kernel_stats: h.kernel.stats().snapshot(),
+        run,
+    }
+}
+
+/// Runs the tree merge sort on PLATINUM with `p` of `nodes` processors.
+///
+/// # Panics
+///
+/// Panics if the sorted output fails verification.
+pub fn run_mergesort_platinum(nodes: usize, p: usize, cfg: &SortConfig) -> AppRun {
+    let h = PlatinumHarness::new(nodes);
+    let page_words = h.kernel.machine().cfg().words_per_page();
+    let pages = (2 * cfg.n).div_ceil(page_words) + 4;
+    let mut data = h.alloc_zone(pages);
+    let lay = SortLayout::alloc(&mut data, cfg.n);
+    let mut sync = h.alloc_zone(1);
+    let barrier = Barrier::new(sync.alloc_words(1), sync.alloc_words(1), p as u32);
+
+    h.run(p, |tid, ctx| mergesort::init_segment(ctx, &lay, cfg, tid, p));
+    let (_, run) = h.run(p, |tid, ctx| {
+        mergesort::run(ctx, &lay, cfg, &barrier, tid, p);
+    });
+    let (checks, _) = h.run(1, |_, ctx| {
+        mergesort::verify(ctx, &lay, cfg, p).map(|()| 1u64)
+    });
+    checks[0].as_ref().expect("merge sort output must verify");
+    AppRun {
+        elapsed_ns: run.elapsed_ns(),
+        checksum: 1,
+        kernel_stats: h.kernel.stats().snapshot(),
+        run,
+    }
+}
+
+/// Runs the tree merge sort on the UMA comparator (the Sequent Symmetry
+/// stand-in of Figure 5) with `p` processors.
+///
+/// # Panics
+///
+/// Panics if the sorted output fails verification.
+pub fn run_mergesort_uma(procs: usize, p: usize, cfg: &SortConfig) -> AppRun {
+    let machine = uma_machine(procs, 4 * cfg.n + (1 << 16));
+    let a = machine.alloc_words(cfg.n);
+    let b = machine.alloc_words(cfg.n);
+    let lay = SortLayout { a, b, n: cfg.n };
+    let count = machine.alloc_words(1);
+    let generation = machine.alloc_words(1);
+    let barrier = Barrier::new(count, generation, p as u32);
+
+    run_uma_workers(&machine, p, |tid, ctx| {
+        mergesort::init_segment(ctx, &lay, cfg, tid, p)
+    });
+    let (_, run) = run_uma_workers(&machine, p, |tid, ctx| {
+        mergesort::run(ctx, &lay, cfg, &barrier, tid, p);
+    });
+    let (checks, _) = run_uma_workers(&machine, 1, |_, ctx| {
+        mergesort::verify(ctx, &lay, cfg, p).map(|()| 1u64)
+    });
+    checks[0].as_ref().expect("merge sort output must verify");
+    AppRun {
+        elapsed_ns: run.elapsed_ns(),
+        checksum: 1,
+        kernel_stats: StatsSnapshot::default(),
+        run,
+    }
+}
+
+/// Runs the neural-network simulator on PLATINUM with `p` of `nodes`
+/// processors. Returns the run plus the final training error.
+pub fn run_neural(nodes: usize, p: usize, cfg: &NeuralConfig) -> (AppRun, f64) {
+    let h = PlatinumHarness::new(nodes);
+    let mut zone = h.alloc_zone(neural::UNITS + 2);
+    let lay = NeuralLayout::alloc(&mut zone);
+    h.run(1, |_, ctx| neural::init(ctx, &lay));
+    // Owners first-touch their units' weight pages (local placement).
+    h.run(p, |tid, ctx| neural::init_owned_weights(ctx, &lay, tid, p));
+    let (_, run) = h.run(p, |tid, ctx| neural::train(ctx, &lay, cfg, tid, p));
+    let (errors, _) = h.run(1, |_, ctx| neural::total_error(ctx, &lay));
+    (
+        AppRun {
+            elapsed_ns: run.elapsed_ns(),
+            checksum: 0,
+            kernel_stats: h.kernel.stats().snapshot(),
+            run,
+        },
+        errors[0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_gauss() -> GaussConfig {
+        GaussConfig {
+            n: 48,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gauss_shared_matches_reference_across_p() {
+        let cfg = small_gauss();
+        let expect = gauss::reference_checksum(&cfg);
+        for p in [1, 2, 4] {
+            let run = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 4, p, &cfg);
+            assert_eq!(run.checksum, expect, "p={p} diverged");
+        }
+    }
+
+    #[test]
+    fn gauss_all_styles_agree() {
+        let cfg = small_gauss();
+        let expect = gauss::reference_checksum(&cfg);
+        for style in [
+            GaussStyle::Shared(PolicyKind::Platinum),
+            GaussStyle::Shared(PolicyKind::NeverReplicate),
+            GaussStyle::Shared(PolicyKind::AlwaysReplicate),
+            GaussStyle::Shared(PolicyKind::AceStyle),
+            GaussStyle::UniformSystem,
+            GaussStyle::MessagePassing,
+        ] {
+            eprintln!("style: {}", style.name());
+            let run = run_gauss(style, 4, 3, &cfg);
+            assert_eq!(run.checksum, expect, "{} diverged", style.name());
+        }
+    }
+
+    #[test]
+    fn gauss_parallel_is_faster() {
+        // Needs a problem big enough that per-round elimination work
+        // dominates the per-round pivot replication overhead (~1.34 ms);
+        // tiny matrices genuinely do not speed up, as inequality (2)
+        // predicts.
+        let cfg = GaussConfig {
+            n: 192,
+            ..Default::default()
+        };
+        let t1 = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 4, 1, &cfg).elapsed_ns;
+        let t4 = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 4, 4, &cfg).elapsed_ns;
+        assert!(
+            t4 < t1,
+            "4 processors must beat 1: t1={t1} t4={t4}"
+        );
+    }
+
+    #[test]
+    fn mergesort_platinum_and_uma_verify() {
+        let cfg = SortConfig {
+            n: 1 << 12,
+            ..Default::default()
+        };
+        let pl = run_mergesort_platinum(4, 4, &cfg);
+        assert!(pl.elapsed_ns > 0);
+        let uma = run_mergesort_uma(4, 4, &cfg);
+        assert!(uma.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn neural_trains_and_freezes_pages() {
+        let cfg = NeuralConfig {
+            epochs: 8,
+            ..Default::default()
+        };
+        let (run, _err) = run_neural(4, 4, &cfg);
+        assert!(
+            run.kernel_stats.freezes > 0,
+            "fine-grain sharing must freeze pages: {:?}",
+            run.kernel_stats
+        );
+        assert!(
+            run.kernel_stats.remote_maps > 0,
+            "frozen pages are remote-mapped"
+        );
+    }
+}

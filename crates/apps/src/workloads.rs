@@ -1,0 +1,189 @@
+//! Synthetic sharing workloads for the §4.1 migrate-vs-remote analysis.
+//!
+//! §4.1 analyzes a shared structure `X` of `s` words, the sole occupant
+//! of a coherent page, accessed in turn by `p` processors, each operation
+//! making `r` references (density ρ = r/s). [`round_robin`] reproduces
+//! that scenario exactly — processors take strict round-robin turns, the
+//! worst case with `g(p) = p/(p-1)` — so the benchmark harness can
+//! measure the empirical crossover density and compare it with
+//! inequality (2) and Table 1.
+
+use numa_machine::{Mem, Va};
+use platinum_runtime::sync::EventCount;
+
+/// Configuration of the round-robin shared-structure workload.
+#[derive(Clone, Debug)]
+pub struct SharingConfig {
+    /// Size of the shared structure in words (`s`); at most one page so
+    /// it is "the sole occupant of a coherent page".
+    pub struct_words: usize,
+    /// References per operation (`r`); density ρ = r / s... relative to
+    /// the page: the analysis uses the page size as `s`, so the harness
+    /// passes `struct_words == words_per_page`.
+    pub refs_per_op: usize,
+    /// Fraction (0..=100) of the references that are writes. The §4.1
+    /// operation "performs a computation f entailing r memory references
+    /// on it" inside a critical section; half-and-half is representative.
+    pub write_pct: u32,
+    /// Operations performed by each processor.
+    pub ops_per_proc: usize,
+    /// Modelled computation per operation, ns.
+    pub compute_ns_per_op: u64,
+}
+
+impl Default for SharingConfig {
+    fn default() -> Self {
+        Self {
+            struct_words: 1024,
+            refs_per_op: 256,
+            write_pct: 50,
+            ops_per_proc: 50,
+            compute_ns_per_op: 10_000,
+        }
+    }
+}
+
+/// One processor's strict round-robin loop over the shared structure at
+/// `base`. Turn-taking uses an event count (whose own page freezes, as
+/// synchronization pages do); each turn performs `refs_per_op`
+/// references sweeping the structure.
+pub fn round_robin<M: Mem>(
+    m: &mut M,
+    base: Va,
+    turn: &EventCount,
+    cfg: &SharingConfig,
+    tid: usize,
+    p: usize,
+) {
+    for op in 0..cfg.ops_per_proc {
+        let my_turn = (op * p + tid) as u32;
+        turn.await_at_least(m, my_turn);
+        operation(m, base, cfg, op);
+        m.compute(cfg.compute_ns_per_op);
+        turn.advance(m);
+    }
+}
+
+/// The operation `f`: `refs_per_op` references spread across the
+/// structure. The first reference is always a write (the §4.1 operation
+/// mutates `X`, which is what makes the page migratory); of the rest,
+/// `write_pct`% are writes.
+fn operation<M: Mem>(m: &mut M, base: Va, cfg: &SharingConfig, op: usize) {
+    operation_for_benchmarks(m, base, cfg, op)
+}
+
+/// The bare §4.1 operation, exposed for harnesses that supply their own
+/// turn-taking.
+pub fn operation_for_benchmarks<M: Mem>(m: &mut M, base: Va, cfg: &SharingConfig, op: usize) {
+    let stride = (cfg.struct_words / cfg.refs_per_op.max(1)).max(1);
+    let mut acc = 0u32;
+    for k in 0..cfg.refs_per_op {
+        let idx = (k * stride + op) % cfg.struct_words;
+        let va = base + 4 * idx as u64;
+        if k == 0 || (k % 100) < cfg.write_pct as usize {
+            m.write(va, acc.wrapping_add(k as u32));
+        } else {
+            acc = acc.wrapping_add(m.read(va));
+        }
+    }
+}
+
+/// A purely private workload: each processor sweeps its own region.
+/// Baseline for overhead measurements — the coherent memory system
+/// should add (almost) nothing here.
+pub fn private_sweep<M: Mem>(m: &mut M, base: Va, words: usize, rounds: usize) -> u32 {
+    let mut acc = 0u32;
+    for r in 0..rounds {
+        for w in 0..words {
+            let va = base + 4 * w as u64;
+            if r % 2 == 0 {
+                m.write(va, (r + w) as u32);
+            } else {
+                acc = acc.wrapping_add(m.read(va));
+            }
+        }
+    }
+    acc
+}
+
+/// A read-shared workload: every processor repeatedly reads the same
+/// region (which PLATINUM should replicate once per node, after which
+/// all traffic is local).
+pub fn read_shared<M: Mem>(m: &mut M, base: Va, words: usize, rounds: usize) -> u32 {
+    let mut acc = 0u32;
+    let mut buf = vec![0u32; words];
+    for _ in 0..rounds {
+        m.read_block(base, &mut buf);
+        for &v in &buf {
+            acc = acc.wrapping_add(v);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_machine::mem_iface::test_support::FlatMem;
+
+    #[test]
+    fn operation_reference_count() {
+        let mut m = FlatMem::new(0, 1);
+        let cfg = SharingConfig {
+            struct_words: 64,
+            refs_per_op: 16,
+            write_pct: 50,
+            ..Default::default()
+        };
+        let t0 = m.vtime();
+        operation(&mut m, 0x1000, &cfg, 0);
+        // FlatMem charges 320 per read/write: exactly 16 references.
+        assert_eq!(m.vtime() - t0, 16 * 320);
+    }
+
+    #[test]
+    fn write_pct_bounds() {
+        let mut m = FlatMem::new(0, 1);
+        let mut cfg = SharingConfig {
+            struct_words: 256,
+            refs_per_op: 200,
+            write_pct: 0,
+            ..Default::default()
+        };
+        operation(&mut m, 0x0, &cfg, 0);
+        assert_eq!(m.words.len(), 1, "0% writes still writes the mutation ref");
+        cfg.write_pct = 100;
+        m.words.clear();
+        operation(&mut m, 0x0, &cfg, 0);
+        assert!(m.words.len() > 100, "100% writes must write everywhere");
+    }
+
+    #[test]
+    fn private_sweep_accumulates() {
+        let mut m = FlatMem::new(0, 1);
+        let acc = private_sweep(&mut m, 0x1000, 8, 2);
+        // Round 0 writes (0+w), round 1 reads them back.
+        assert_eq!(acc, (0..8).sum::<u32>());
+    }
+
+    #[test]
+    fn read_shared_sums() {
+        let mut m = FlatMem::new(0, 1);
+        m.write_block(0x1000, &[1, 2, 3, 4]);
+        assert_eq!(read_shared(&mut m, 0x1000, 4, 3), 30);
+    }
+
+    #[test]
+    fn round_robin_single_proc_runs() {
+        let mut m = FlatMem::new(0, 1);
+        let turn = EventCount::new(0x8000);
+        let cfg = SharingConfig {
+            struct_words: 32,
+            refs_per_op: 8,
+            ops_per_proc: 5,
+            ..Default::default()
+        };
+        round_robin(&mut m, 0x1000, &turn, &cfg, 0, 1);
+        assert_eq!(m.read_spin(0x8000), 5, "five turns taken");
+    }
+}

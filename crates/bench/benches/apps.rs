@@ -1,0 +1,52 @@
+//! Criterion end-to-end application benchmarks (host-time cost of whole
+//! simulated runs; the virtual-time results live in the fig* binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use platinum_apps::gauss::GaussConfig;
+use platinum_apps::harness::{
+    run_gauss, run_mergesort_platinum, run_mergesort_uma, run_neural, GaussStyle, PolicyKind,
+};
+use platinum_apps::mergesort::SortConfig;
+use platinum_apps::neural::NeuralConfig;
+
+fn bench_gauss(c: &mut Criterion) {
+    let cfg = GaussConfig {
+        n: 64,
+        ..Default::default()
+    };
+    c.bench_function("gauss_64_p4_platinum", |b| {
+        b.iter(|| run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 4, 4, &cfg))
+    });
+    c.bench_function("gauss_64_p4_message_passing", |b| {
+        b.iter(|| run_gauss(GaussStyle::MessagePassing, 4, 4, &cfg))
+    });
+}
+
+fn bench_mergesort(c: &mut Criterion) {
+    let cfg = SortConfig {
+        n: 1 << 12,
+        ..Default::default()
+    };
+    c.bench_function("mergesort_4k_p4_platinum", |b| {
+        b.iter(|| run_mergesort_platinum(4, 4, &cfg))
+    });
+    c.bench_function("mergesort_4k_p4_uma", |b| {
+        b.iter(|| run_mergesort_uma(4, 4, &cfg))
+    });
+}
+
+fn bench_neural(c: &mut Criterion) {
+    let cfg = NeuralConfig {
+        epochs: 2,
+        ..Default::default()
+    };
+    c.bench_function("neural_2epochs_p4", |b| b.iter(|| run_neural(4, 4, &cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gauss, bench_mergesort, bench_neural
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the kernel's hot paths (host-time
+//! performance of the simulator itself, complementing the virtual-time
+//! measurements of `sec4_microbench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use numa_machine::{Machine, MachineConfig, Mem};
+use platinum::{Kernel, Rights};
+
+fn machine(nodes: usize) -> Arc<Machine> {
+    Machine::new(MachineConfig {
+        nodes,
+        frames_per_node: 256,
+        skew_window_ns: None,
+        ..MachineConfig::default()
+    })
+    .unwrap()
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    let kernel = Kernel::new(machine(2));
+    let space = kernel.create_space();
+    let object = kernel.create_object(1);
+    let va = space.map_anywhere(object, Rights::RW).unwrap();
+    let mut ctx = kernel.attach(space, 0, 0).unwrap();
+    ctx.write(va, 1); // fault once; everything after is the fast path
+    c.bench_function("fast_path_read_atc_hit", |b| {
+        b.iter(|| std::hint::black_box(ctx.read(va)))
+    });
+    c.bench_function("fast_path_write_atc_hit", |b| {
+        b.iter(|| ctx.write(va, 2))
+    });
+    c.bench_function("fast_path_fetch_add", |b| {
+        b.iter(|| std::hint::black_box(ctx.fetch_add(va, 1)))
+    });
+}
+
+fn bench_block_ops(c: &mut Criterion) {
+    let kernel = Kernel::new(machine(2));
+    let space = kernel.create_space();
+    let object = kernel.create_object(4);
+    let va = space.map_anywhere(object, Rights::RW).unwrap();
+    let mut ctx = kernel.attach(space, 0, 0).unwrap();
+    let buf = vec![7u32; 1024];
+    ctx.write_block(va, &buf);
+    let mut out = vec![0u32; 1024];
+    c.bench_function("read_block_1_page", |b| {
+        b.iter(|| ctx.read_block(va, &mut out))
+    });
+    c.bench_function("write_block_1_page", |b| {
+        b.iter(|| ctx.write_block(va, &buf))
+    });
+}
+
+fn bench_fault_cycle(c: &mut Criterion) {
+    // A full migrate-invalidate cycle per iteration: two contexts
+    // alternate writes to the same page with the policy that always
+    // migrates.
+    let kernel = Kernel::with_policy(machine(2), Box::new(platinum::AlwaysReplicate));
+    let space = kernel.create_space();
+    let object = kernel.create_object(1);
+    let va = space.map_anywhere(object, Rights::RW).unwrap();
+    let mut a = kernel.attach(Arc::clone(&space), 0, 0).unwrap();
+    let mut b_ctx = kernel.attach(space, 1, 0).unwrap();
+    c.bench_function("migrate_pingpong_cycle", |bch| {
+        bch.iter(|| {
+            b_ctx.suspend();
+            a.resume();
+            a.write(va, 1);
+            a.suspend();
+            b_ctx.resume();
+            b_ctx.write(va, 2);
+        })
+    });
+}
+
+fn bench_replication(c: &mut Criterion) {
+    // Replicate + collapse per iteration: reader replicates a page, the
+    // writer's next write invalidates the replica.
+    let kernel = Kernel::new(machine(2));
+    let space = kernel.create_space();
+    let object = kernel.create_object(1);
+    let va = space.map_anywhere(object, Rights::RW).unwrap();
+    let mut w = kernel.attach(Arc::clone(&space), 0, 0).unwrap();
+    let mut r = kernel.attach(space, 1, 0).unwrap();
+    w.write(va, 0);
+    c.bench_function("replicate_invalidate_cycle", |bch| {
+        bch.iter(|| {
+            w.suspend();
+            r.resume();
+            // Age the clock past t1 so the policy replicates.
+            r.compute(20_000_000);
+            std::hint::black_box(r.read(va));
+            r.suspend();
+            w.resume();
+            w.compute(20_000_000);
+            w.write(va, 1);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fast_path, bench_block_ops, bench_fault_cycle, bench_replication
+}
+criterion_main!(benches);

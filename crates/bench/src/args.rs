@@ -1,0 +1,90 @@
+//! A minimal command-line argument parser (no external dependencies).
+
+/// Parsed command-line options shared by the benchmark binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit list (tests).
+    pub fn from(raw: &[&str]) -> Self {
+        Self {
+            raw: raw.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Whether a bare flag like `--full` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// The value of `--key value` or `--key=value`, parsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when the value fails to parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T>
+    where
+        T::Err: std::fmt::Display,
+    {
+        for (i, a) in self.raw.iter().enumerate() {
+            if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                return Some(Self::parse_or_die(name, v));
+            }
+            if a == name {
+                let v = self
+                    .raw
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("{name} needs a value"));
+                return Some(Self::parse_or_die(name, v));
+            }
+        }
+        None
+    }
+
+    /// Like [`Args::get`] with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.get(name).unwrap_or(default)
+    }
+
+    fn parse_or_die<T: std::str::FromStr>(name: &str, v: &str) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse()
+            .unwrap_or_else(|e| panic!("bad value for {name}: {v}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_and_values() {
+        let a = Args::from(&["--full", "--n", "400", "--t1=5"]);
+        assert!(a.flag("--full"));
+        assert!(!a.flag("--quick"));
+        assert_eq!(a.get::<usize>("--n"), Some(400));
+        assert_eq!(a.get::<u64>("--t1"), Some(5));
+        assert_eq!(a.get_or::<usize>("--m", 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value")]
+    fn bad_value_panics() {
+        let a = Args::from(&["--n", "abc"]);
+        let _ = a.get::<usize>("--n");
+    }
+}

@@ -1,0 +1,171 @@
+//! Empirical validation of the §4.1 migrate-vs-remote analysis.
+//!
+//! Runs the round-robin shared-structure workload (the exact scenario of
+//! §4.1: `p` processors take turns, each operation makes `r = ρ·s`
+//! references to a page-sized structure) under two policies:
+//! `AlwaysReplicate` (move the data to the operating processor) and
+//! `NeverReplicate` (use remote references), sweeping the density ρ.
+//! The density at which the strategies' run times cross is compared with
+//! the crossover predicted by inequality (2) — using the simulator's own
+//! measured fixed overhead, and with the paper's published constants for
+//! reference.
+//!
+//! Usage:
+//!   crossover [--procs 2] [--ops 40]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use numa_machine::{MachineConfig, Mem};
+use platinum_analysis::model::{g_round_robin, CostModel};
+use platinum_analysis::report::Table;
+use platinum_apps::harness::PolicyKind;
+use platinum_apps::workloads::{operation_for_benchmarks, SharingConfig};
+use platinum_bench::Args;
+use platinum_runtime::par::PlatinumHarness;
+
+/// Host-side round-robin turn-taking with virtual-time propagation.
+///
+/// §4.1's model prices only the operations on `X` itself — the critical
+/// section's lock is outside the model — so the harness keeps the
+/// turn-taking off the simulated machine entirely: a host atomic orders
+/// the turns and release times propagate through `advance_to`, exactly
+/// like the run-time primitives but with zero simulated traffic.
+struct HostTurn {
+    counter: AtomicU32,
+    times: std::sync::Mutex<Vec<u64>>,
+}
+
+impl HostTurn {
+    fn new() -> Self {
+        Self {
+            counter: AtomicU32::new(0),
+            times: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    fn await_turn<M: Mem>(&self, m: &mut M, turn: u32) {
+        m.begin_wait();
+        while self.counter.load(Ordering::Acquire) < turn {
+            m.poll();
+            std::thread::yield_now();
+        }
+        m.end_wait();
+        if turn > 0 {
+            let t = self
+                .times
+                .lock()
+                .unwrap()
+                .get(turn as usize - 1)
+                .copied()
+                .unwrap_or(0);
+            m.advance_to(t);
+        }
+    }
+
+    fn advance<M: Mem>(&self, m: &mut M) {
+        let new = self.counter.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut times = self.times.lock().unwrap();
+        if times.len() < new as usize {
+            times.resize(new as usize, 0);
+        }
+        times[new as usize - 1] = m.vtime();
+    }
+}
+
+fn run_once(policy: PolicyKind, p: usize, cfg: &SharingConfig) -> u64 {
+    let mut mcfg = MachineConfig::with_nodes(p.max(2));
+    mcfg.frames_per_node = 512;
+    let h = PlatinumHarness::with_config(
+        mcfg,
+        policy.build(),
+        platinum::KernelConfig::default(),
+    );
+    let mut data = h.alloc_zone(2);
+    let base = data.alloc_page_aligned(cfg.struct_words);
+    let turn = HostTurn::new();
+    let turn = &turn;
+    let (_, run) = h.run(p, move |tid, ctx| {
+        for op in 0..cfg.ops_per_proc {
+            let my_turn = (op * p + tid) as u32;
+            turn.await_turn(ctx, my_turn);
+            operation_for_benchmarks(ctx, base, cfg, op);
+            turn.advance(ctx);
+        }
+    });
+    run.elapsed_ns()
+}
+
+fn main() {
+    let args = Args::parse();
+    let p = args.get_or("--procs", 2usize);
+    let ops = args.get_or("--ops", 40usize);
+    let s_words = 1024u64;
+    let g = g_round_robin(p);
+
+    println!("Section 4.1 crossover: migrate vs remote access, p={p} (g(p) = {g:.3})\n");
+
+    let mut table = Table::new(vec![
+        "rho",
+        "refs/op",
+        "migrate ms",
+        "remote ms",
+        "winner",
+    ]);
+    let mut crossover_rho: Option<(f64, f64)> = None;
+    let mut prev: Option<(f64, f64)> = None; // (rho, migrate/remote ratio)
+    let rhos = [0.125f64, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.25, 1.5];
+    for &rho in &rhos {
+        let refs = (rho * s_words as f64) as usize;
+        // Read-dominated references, matching the analysis (its C_remote
+        // uses the remote *read* latency; one write per operation keeps
+        // the page migratory).
+        let cfg = SharingConfig {
+            struct_words: s_words as usize,
+            refs_per_op: refs,
+            write_pct: 0,
+            ops_per_proc: ops,
+            compute_ns_per_op: 0,
+        };
+        let migrate = run_once(PolicyKind::AlwaysReplicate, p, &cfg);
+        let remote = run_once(PolicyKind::NeverReplicate, p, &cfg);
+        let ratio = migrate as f64 / remote as f64;
+        if let Some((prho, pratio)) = prev {
+            if pratio > 1.0 && ratio <= 1.0 {
+                // Linear interpolation of the crossing.
+                let t = (pratio - 1.0) / (pratio - ratio);
+                crossover_rho = Some((prho + t * (rho - prho), ratio));
+            }
+        }
+        prev = Some((rho, ratio));
+        table.row(vec![
+            format!("{rho:.3}"),
+            refs.to_string(),
+            format!("{:.2}", migrate as f64 / 1e6),
+            format!("{:.2}", remote as f64 / 1e6),
+            if migrate < remote { "migrate" } else { "remote" }.to_string(),
+        ]);
+        eprintln!("  rho={rho:.3} done");
+    }
+    println!("{table}");
+
+    // Predicted crossover from the simulator's own constants. The fixed
+    // overhead here is the §4 write-miss/migration fixed cost (~0.26 ms
+    // measured by sec4_microbench).
+    let timing = MachineConfig::default().timing;
+    let own = CostModel::from_timing(&timing, 260_000.0);
+    let paper = CostModel::paper_published();
+    println!(
+        "empirical crossover density: {}",
+        crossover_rho
+            .map(|(r, _)| format!("{r:.3}"))
+            .unwrap_or_else(|| "not crossed in range".to_string())
+    );
+    println!(
+        "inequality (2) with this simulator's overhead: rho* = {:.3}",
+        own.crossover_density(s_words, g)
+    );
+    println!(
+        "inequality (2) with the paper's constants:     rho* = {:.3}",
+        paper.crossover_density(s_words, g)
+    );
+}

@@ -1,0 +1,32 @@
+use numa_machine::MachineConfig;
+use platinum_apps::gauss::{self, GaussConfig, GaussLayout};
+use platinum_apps::harness::PolicyKind;
+use platinum_runtime::par::PlatinumHarness;
+use platinum_runtime::sync::EventCount;
+
+fn main() {
+    let cfg = GaussConfig { n: 200, ..Default::default() };
+    let mut mcfg = MachineConfig::with_nodes(16);
+    mcfg.frames_per_node = 4096;
+    let h = PlatinumHarness::with_config(mcfg, PolicyKind::Platinum.build(), platinum::KernelConfig::default());
+    let page_words = h.kernel.machine().cfg().words_per_page();
+    let stride = cfg.n.div_ceil(page_words) * page_words;
+    let pages = (stride * cfg.n).div_ceil(page_words) + 2;
+    let mut data = h.alloc_zone(pages);
+    let lay = GaussLayout::alloc(&mut data, cfg.n, page_words);
+    let mut sync = h.alloc_zone(1);
+    let ec = EventCount::new(sync.alloc_words(1));
+    let p = 2;
+    h.run(p, |tid, ctx| gauss::init_owned_rows(ctx, &lay, &cfg, tid, p));
+    let (_, run) = h.run(p, |tid, ctx| gauss::run_shared(ctx, &lay, &cfg, &ec, tid, p));
+    for w in &run.workers {
+        let c = &w.counters;
+        println!(
+            "proc {}: vtime={:.0}ms compute={:.0}ms queue={:.0}ms lr={} rr={} lw={} rw={} la={} ra={} blocks={} faults={}",
+            w.proc, w.vtime_ns as f64 / 1e6, c.compute_ns as f64 / 1e6,
+            c.queue_delay_ns as f64 / 1e6,
+            c.local_reads, c.remote_reads, c.local_writes, c.remote_writes,
+            c.local_atomics, c.remote_atomics, c.block_transfers, c.faults,
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 6: the recurrent-backpropagation simulator's speedup.
+//!
+//! §5.3: "Given the very fine-grain nature of the algorithm, PLATINUM
+//! cannot use replication or migration to good advantage. The coherent
+//! memory system quickly gives up and the data pages of the application
+//! are frozen in place. The speedup curve is linear over the range
+//! measured, but the extensive use of remote accesses limits the
+//! contribution of each incremental processor to about 1/2 that of a
+//! processor that makes only local memory references."
+//!
+//! Usage:
+//!   fig6_neural [--epochs 40] [--max-procs 10]
+
+use platinum_analysis::report::{ascii_chart, Series, Table};
+use platinum_apps::harness::run_neural;
+use platinum_apps::neural::NeuralConfig;
+use platinum_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let max_procs = args.get_or("--max-procs", 10usize);
+    let cfg = NeuralConfig {
+        epochs: args.get_or("--epochs", 40usize),
+        ..Default::default()
+    };
+
+    println!("Figure 6: recurrent backpropagation simulator (40 units, 16 patterns)");
+    println!("paper: linear speedup, slope ~1/2 per incremental processor\n");
+
+    let mut table = Table::new(vec!["p", "time ms", "speedup", "frozen pages", "remote frac"]);
+    let mut series = Series::new("recurrent backprop");
+    let mut t1 = 0u64;
+    let mut speedups = Vec::new();
+    for p in 1..=max_procs {
+        let (run, err) = run_neural(max_procs.max(p), p, &cfg);
+        if p == 1 {
+            t1 = run.elapsed_ns;
+        }
+        let s = t1 as f64 / run.elapsed_ns as f64;
+        speedups.push((p as f64, s));
+        series.push(p as f64, s);
+        let counters = run.run.merged_counters();
+        table.row(vec![
+            p.to_string(),
+            format!("{:.1}", run.elapsed_ns as f64 / 1e6),
+            format!("{s:.2}"),
+            run.kernel_stats.freezes.to_string(),
+            format!("{:.2}", counters.remote_fraction()),
+        ]);
+        eprintln!("  p={p:>2} done (err {err:.2})");
+    }
+    println!("{table}");
+    println!("{}", ascii_chart(&[series.clone()], 60, 14));
+    if let Some(path) = args.get::<String>("--json") {
+        let artifact =
+            platinum_analysis::report::json::series_artifact("fig6_neural", &[series]);
+        std::fs::write(&path, artifact).expect("write json artifact");
+        eprintln!("wrote {path}");
+    }
+
+    // Least-squares slope of speedup vs p: the "contribution of each
+    // incremental processor".
+    let n = speedups.len() as f64;
+    let sx: f64 = speedups.iter().map(|(x, _)| x).sum();
+    let sy: f64 = speedups.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = speedups.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = speedups.iter().map(|(x, y)| x * y).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    println!("incremental-processor contribution (slope): {slope:.2}  (paper: ~0.5)");
+}

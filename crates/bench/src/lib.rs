@@ -1,0 +1,15 @@
+//! `platinum-bench`: shared scaffolding for the per-figure benchmark
+//! binaries.
+//!
+//! Each table and figure of the paper's evaluation has its own binary
+//! (see `src/bin/`); this library provides the tiny argument parser they
+//! share and the orchestration used by the §4 micro-benchmarks (live
+//! "poller" processors that service shootdown interrupts while the
+//! measured processor runs a protocol operation).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod micro;
+
+pub use args::Args;

@@ -1,0 +1,151 @@
+//! Orchestration for the §4 micro-benchmarks.
+//!
+//! The paper's basic-operation timings involve *live* target processors
+//! that must be interrupted (restricting a writer's mapping, invalidating
+//! replicas). [`MicroBench`] runs "poller" threads on a chosen set of
+//! processors: each attaches a context, optionally touches the measured
+//! page (to become a replica holder or the writer), and then services its
+//! IPI doorbell in a loop until told to stop — a processor running user
+//! code, as far as the shootdown mechanism is concerned.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use numa_machine::{Machine, MachineConfig, Mem, Va};
+use platinum::{AddressSpace, Kernel, KernelConfig, PlatinumPolicy, Rights, ShootdownMode, UserCtx};
+
+/// A booted 16-node machine + kernel + space + one mapped page, the §4
+/// measurement fixture.
+pub struct MicroBench {
+    /// The kernel.
+    pub kernel: Arc<Kernel>,
+    /// The measurement address space.
+    pub space: Arc<AddressSpace>,
+    /// A mapped, read-write page.
+    pub va: Va,
+}
+
+impl MicroBench {
+    /// Boots the fixture with the paper's 16 processors and an optional
+    /// Mach-style shootdown comparator.
+    ///
+    /// The skew window is disabled: micro-measurements want exact charges,
+    /// not coupled clocks.
+    pub fn new(mach_mode: bool) -> Self {
+        Self::with_nodes(16, mach_mode)
+    }
+
+    /// Boots with an explicit node count.
+    pub fn with_nodes(nodes: usize, mach_mode: bool) -> Self {
+        let machine = Machine::new(MachineConfig {
+            nodes,
+            frames_per_node: 256,
+            skew_window_ns: None,
+            ..MachineConfig::default()
+        })
+        .expect("valid machine config");
+        let mut cfg = KernelConfig::default();
+        if mach_mode {
+            cfg.shootdown = ShootdownMode::SharedPmapStall;
+        }
+        let kernel = Kernel::with_config(
+            machine,
+            Box::new(PlatinumPolicy::paper_default()),
+            cfg,
+        );
+        let space = kernel.create_space();
+        let object = kernel.create_object(4);
+        let va = space
+            .map_anywhere(object, Rights::RW)
+            .expect("fresh mapping");
+        Self { kernel, space, va }
+    }
+
+    /// Attaches a context on `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processor is occupied.
+    pub fn attach(&self, proc: usize) -> UserCtx {
+        self.kernel
+            .attach(Arc::clone(&self.space), proc, 0)
+            .expect("processor free")
+    }
+
+    /// Runs `measured` on processor 0 while processors `pollers` run live
+    /// polling loops. Each poller first executes `warm` (e.g. read the
+    /// page to become a replica holder), then signals readiness; the
+    /// measured closure starts only after every poller is ready.
+    ///
+    /// Returns the measured closure's result.
+    pub fn with_pollers<T: Send>(
+        &self,
+        pollers: &[usize],
+        warm: impl Fn(usize, &mut UserCtx) + Sync,
+        measured: impl FnOnce(&mut UserCtx) -> T + Send,
+    ) -> T {
+        let stop = AtomicBool::new(false);
+        let ready = AtomicUsize::new(0);
+        let warm = &warm;
+        let stop_ref = &stop;
+        let ready_ref = &ready;
+        std::thread::scope(|s| {
+            for &p in pollers {
+                s.spawn(move || {
+                    let mut ctx = self.attach(p);
+                    warm(p, &mut ctx);
+                    ready_ref.fetch_add(1, Ordering::Release);
+                    while !stop_ref.load(Ordering::Acquire) {
+                        ctx.poll();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            let mut ctx = self.attach(0);
+            while ready.load(Ordering::Acquire) < pollers.len() {
+                std::thread::yield_now();
+            }
+            let out = measured(&mut ctx);
+            stop.store(true, Ordering::Release);
+            out
+        })
+    }
+}
+
+/// Measures the virtual-time cost of `op` on `ctx`.
+pub fn vcost<T>(ctx: &mut UserCtx, op: impl FnOnce(&mut UserCtx) -> T) -> (u64, T) {
+    let before = ctx.vtime();
+    let out = op(ctx);
+    (ctx.vtime() - before, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_boots_and_measures() {
+        let mb = MicroBench::new(false);
+        let mut ctx = mb.attach(0);
+        let (cost, _) = vcost(&mut ctx, |c| c.write(mb.va, 1));
+        assert!(cost > 0, "a first write must cost protocol work");
+    }
+
+    #[test]
+    fn pollers_enable_live_shootdowns() {
+        let mb = MicroBench::with_nodes(4, false);
+        // Processor 1 writes the page and stays live; processor 0's read
+        // must restrict it via a real IPI.
+        let cost = mb.with_pollers(
+            &[1],
+            |_, ctx| ctx.write(mb.va, 42),
+            |ctx| {
+                let (cost, v) = vcost(ctx, |c| c.read(mb.va));
+                assert_eq!(v, 42);
+                cost
+            },
+        );
+        assert!(cost > 1_000_000, "read miss on modified: {cost} ns");
+        assert_eq!(mb.kernel.stats().snapshot().ipis_sent, 1);
+    }
+}

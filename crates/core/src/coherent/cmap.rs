@@ -1,0 +1,261 @@
+//! Cmap entries and the shootdown message queues (§2.3 of the paper).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use numa_machine::Vpn;
+
+use crate::ids::{CpageId, Rights};
+
+/// A Cmap entry: the cached composition of the virtual-to-object and
+/// object-to-coherent mappings for one virtual page of one address space.
+///
+/// "A Cmap entry is analogous to a page table entry. It contains a
+/// pointer to the coherent page, an access rights field, and a bit vector
+/// called the reference mask" (§2.3).
+pub struct CmapEntry {
+    /// The coherent page this virtual page maps to.
+    pub cpage: CpageId,
+    /// The rights the virtual memory system granted (virtual-to-coherent
+    /// level). The protocol may restrict the physical mapping further.
+    pub rights: Rights,
+    /// Reference mask: bit `p` is set when processor `p` holds a
+    /// virtual-to-physical translation for this page in its Pmap.
+    /// Maintained with atomics so faulting processors and shootdown
+    /// targets never need a shared lock.
+    pub refmask: AtomicU64,
+}
+
+impl CmapEntry {
+    /// Creates an entry with an empty reference mask.
+    pub fn new(cpage: CpageId, rights: Rights) -> Self {
+        Self {
+            cpage,
+            rights,
+            refmask: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks processor `p` as holding a translation.
+    #[inline]
+    pub fn set_ref(&self, p: usize) {
+        self.refmask.fetch_or(1u64 << p, Ordering::AcqRel);
+    }
+
+    /// Clears processor `p`'s reference bit.
+    #[inline]
+    pub fn clear_ref(&self, p: usize) {
+        self.refmask.fetch_and(!(1u64 << p), Ordering::AcqRel);
+    }
+
+    /// The current reference mask.
+    #[inline]
+    pub fn refs(&self) -> u64 {
+        self.refmask.load(Ordering::Acquire)
+    }
+}
+
+/// A shootdown directive carried by a Cmap message (§2.3: "a directive
+/// either to invalidate the current translation or to restrict the access
+/// rights in it").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Directive {
+    /// Remove the virtual-to-physical translation entirely.
+    Invalidate,
+    /// Remove the translation only if it points at a physical copy on one
+    /// of the modules in the mask (used when selected replicas are being
+    /// reclaimed; translations to the surviving copy are left intact).
+    InvalidateModules(u64),
+    /// Downgrade the translation to read-only.
+    RestrictToRead,
+}
+
+/// A Cmap message: "describes a change made to a virtual address space
+/// that affects virtual-to-physical mappings held by two or more
+/// processors" (§2.3).
+pub struct CmapMsg {
+    /// The virtual page whose translation must change.
+    pub vpn: Vpn,
+    /// What to do to it.
+    pub directive: Directive,
+    /// Processors that still have to apply the change; each target clears
+    /// its own bit after updating its Pmap ("it applies the change to its
+    /// Pmap and removes itself from the target mask").
+    pub targets: AtomicU64,
+    /// The maximum virtual time at which a target acknowledged; the
+    /// initiator advances its clock to this after the wait, which is how
+    /// shootdown latency propagates between processors in the simulation.
+    pub ack_vtime: AtomicU64,
+}
+
+impl CmapMsg {
+    /// Creates a message for `targets`.
+    pub fn new(vpn: Vpn, directive: Directive, targets: u64) -> Arc<Self> {
+        Arc::new(Self {
+            vpn,
+            directive,
+            targets: AtomicU64::new(targets),
+            ack_vtime: AtomicU64::new(0),
+        })
+    }
+
+    /// Clears `p`'s bit, acknowledging the change at virtual time `now`.
+    #[inline]
+    pub fn ack(&self, p: usize, now: u64) {
+        self.ack_vtime.fetch_max(now, Ordering::AcqRel);
+        self.targets.fetch_and(!(1u64 << p), Ordering::AcqRel);
+    }
+
+    /// The latest acknowledgment time seen so far.
+    #[inline]
+    pub fn ack_time(&self) -> u64 {
+        self.ack_vtime.load(Ordering::Acquire)
+    }
+
+    /// The processors that have not yet applied the change.
+    #[inline]
+    pub fn pending(&self) -> u64 {
+        self.targets.load(Ordering::Acquire)
+    }
+}
+
+/// The per-address-space Cmap: the virtual-to-coherent page table plus the
+/// queue of recent mapping-change messages (§2.3).
+pub struct Cmap {
+    /// Virtual-to-coherent entries, created lazily on first fault.
+    entries: RwLock<HashMap<Vpn, Arc<CmapEntry>>>,
+    /// "A queue of Cmap messages describing recent changes to the address
+    /// space." Messages whose target mask has drained are compacted away.
+    queue: Mutex<Vec<Arc<CmapMsg>>>,
+}
+
+impl Cmap {
+    /// An empty Cmap.
+    pub fn new() -> Self {
+        Self {
+            entries: RwLock::new(HashMap::new()),
+            queue: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Looks up the entry for `vpn`.
+    pub fn entry(&self, vpn: Vpn) -> Option<Arc<CmapEntry>> {
+        self.entries.read().get(&vpn).cloned()
+    }
+
+    /// Inserts an entry for `vpn`, returning the entry actually in the
+    /// table (the existing one if another processor raced the insert).
+    pub fn insert(&self, vpn: Vpn, entry: CmapEntry) -> Arc<CmapEntry> {
+        let mut map = self.entries.write();
+        Arc::clone(map.entry(vpn).or_insert_with(|| Arc::new(entry)))
+    }
+
+    /// Removes and returns the entry for `vpn` (unmap).
+    pub fn remove(&self, vpn: Vpn) -> Option<Arc<CmapEntry>> {
+        self.entries.write().remove(&vpn)
+    }
+
+    /// All (vpn, entry) pairs; report and teardown support.
+    pub fn snapshot(&self) -> Vec<(Vpn, Arc<CmapEntry>)> {
+        self.entries
+            .read()
+            .iter()
+            .map(|(v, e)| (*v, Arc::clone(e)))
+            .collect()
+    }
+
+    /// Posts a message to the queue.
+    pub fn post(&self, msg: Arc<CmapMsg>) {
+        let mut q = self.queue.lock();
+        q.push(msg);
+        // Compact fully-acknowledged messages so the queue stays short.
+        q.retain(|m| m.pending() != 0);
+    }
+
+    /// Returns the messages with processor `p`'s bit still pending.
+    ///
+    /// The caller applies each change to its own Pmap/ATC and then acks.
+    pub fn pending_for(&self, p: usize) -> Vec<Arc<CmapMsg>> {
+        let bit = 1u64 << p;
+        let q = self.queue.lock();
+        q.iter()
+            .filter(|m| m.pending() & bit != 0)
+            .map(Arc::clone)
+            .collect()
+    }
+
+    /// Number of unacknowledged messages (tests and reporting).
+    pub fn queue_len(&self) -> usize {
+        self.queue.lock().iter().filter(|m| m.pending() != 0).count()
+    }
+}
+
+impl Default for Cmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refmask_bits() {
+        let e = CmapEntry::new(CpageId(0), Rights::RW);
+        assert_eq!(e.refs(), 0);
+        e.set_ref(3);
+        e.set_ref(7);
+        assert_eq!(e.refs(), (1 << 3) | (1 << 7));
+        e.clear_ref(3);
+        assert_eq!(e.refs(), 1 << 7);
+    }
+
+    #[test]
+    fn message_ack_drains() {
+        let m = CmapMsg::new(5, Directive::Invalidate, 0b1011);
+        m.ack(0, 100);
+        m.ack(3, 250);
+        assert_eq!(m.pending(), 0b0010);
+        assert_eq!(m.ack_time(), 250);
+        m.ack(1, 50);
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn queue_post_pending_compact() {
+        let c = Cmap::new();
+        let m1 = CmapMsg::new(1, Directive::Invalidate, 0b01);
+        let m2 = CmapMsg::new(2, Directive::RestrictToRead, 0b11);
+        c.post(Arc::clone(&m1));
+        c.post(Arc::clone(&m2));
+        assert_eq!(c.queue_len(), 2);
+
+        let pending0 = c.pending_for(0);
+        assert_eq!(pending0.len(), 2);
+        let pending1 = c.pending_for(1);
+        assert_eq!(pending1.len(), 1);
+        assert_eq!(pending1[0].vpn, 2);
+
+        m1.ack(0, 1);
+        m2.ack(0, 1);
+        m2.ack(1, 1);
+        // Compaction happens on the next post.
+        c.post(CmapMsg::new(3, Directive::Invalidate, 0b1));
+        assert_eq!(c.queue_len(), 1);
+    }
+
+    #[test]
+    fn insert_race_returns_existing() {
+        let c = Cmap::new();
+        let a = c.insert(9, CmapEntry::new(CpageId(1), Rights::RO));
+        let b = c.insert(9, CmapEntry::new(CpageId(2), Rights::RW));
+        assert!(Arc::ptr_eq(&a, &b), "second insert must not replace");
+        assert_eq!(b.cpage, CpageId(1));
+        assert!(c.remove(9).is_some());
+        assert!(c.entry(9).is_none());
+    }
+}

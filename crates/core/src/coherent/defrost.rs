@@ -1,0 +1,177 @@
+//! The defrost daemon (§4.2 of the paper).
+//!
+//! "The Cpage module maintains a list of frozen Cpages and a clock
+//! interrupt every t2 seconds activates the defrost daemon to invalidate
+//! all mappings to the frozen pages. Subsequent access attempts will
+//! cause faults that may replicate or migrate a recently thawed coherent
+//! page."
+//!
+//! In the simulator the daemon runs on whichever processor first notices
+//! that its virtual clock crossed the next activation time — the moral
+//! equivalent of the clock interrupt dispatching the daemon to a
+//! processor. Thawing does not count as a protocol invalidation, so a
+//! thawed page is immediately eligible for replication again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use numa_machine::Va;
+
+use crate::coherent::cmap::Directive;
+use crate::coherent::cpage::CpState;
+use crate::error::{KernelError, Result};
+use crate::ids::CpageId;
+use crate::kernel::Kernel;
+use crate::stats::KernelStats;
+use crate::user::UserCtx;
+
+/// The defrost daemon's state: the frozen-page list and the next
+/// activation time.
+pub struct DefrostState {
+    frozen: Mutex<Vec<CpageId>>,
+    next_run: AtomicU64,
+    t2_ns: u64,
+}
+
+impl DefrostState {
+    /// Creates the daemon state with period `t2_ns`.
+    pub fn new(t2_ns: u64) -> Self {
+        Self {
+            frozen: Mutex::new(Vec::new()),
+            next_run: AtomicU64::new(t2_ns),
+            t2_ns,
+        }
+    }
+
+    /// Enrolls a freshly frozen page.
+    pub fn enroll(&self, id: CpageId) {
+        let mut list = self.frozen.lock();
+        if !list.contains(&id) {
+            list.push(id);
+        }
+    }
+
+    /// The number of pages currently enrolled (some may have been thawed
+    /// by other means and are skipped at the next run).
+    pub fn enrolled(&self) -> usize {
+        self.frozen.lock().len()
+    }
+
+    /// Claims a daemon activation if `now` has crossed the next run time.
+    /// Returns whether the caller should run the daemon.
+    fn claim(&self, now: u64) -> bool {
+        let next = self.next_run.load(Ordering::Relaxed);
+        if now < next {
+            return false;
+        }
+        self.next_run
+            .compare_exchange(next, now + self.t2_ns, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Takes the current frozen list, leaving it empty.
+    fn take(&self) -> Vec<CpageId> {
+        std::mem::take(&mut *self.frozen.lock())
+    }
+}
+
+impl Kernel {
+    /// Runs the defrost daemon on `ctx`'s processor if its period has
+    /// elapsed. Called from the kernel entry path.
+    pub(crate) fn maybe_defrost(&self, ctx: &mut UserCtx) {
+        if !self.defrost.claim(ctx.core.vtime()) {
+            return;
+        }
+        self.run_defrost(ctx);
+    }
+
+    /// Unconditionally runs one defrost pass: thaws every enrolled page
+    /// by invalidating all mappings to it.
+    pub fn run_defrost(&self, ctx: &mut UserCtx) {
+        KernelStats::bump(&self.stats.defrost_runs);
+        ctx.core.charge(self.config().costs.defrost_run_ns);
+        for id in self.defrost.take() {
+            self.thaw_cpage(ctx, id);
+        }
+    }
+
+    /// Thaws one coherent page: invalidates every translation so the next
+    /// access faults and the policy can decide afresh.
+    pub(crate) fn thaw_cpage(&self, ctx: &mut UserCtx, id: CpageId) {
+        let Some(cpage) = self.cpages.get(id) else {
+            return;
+        };
+        let mut g = self.lock_cpage(ctx, &cpage);
+        if !g.frozen {
+            // Thawed by other means (migration under the thaw-on-access
+            // variant, explicit thaw) since enrollment.
+            return;
+        }
+        debug_assert_eq!(g.state, CpState::Modified, "frozen implies modified");
+        // Invalidate all mappings, the initiator's included.
+        self.shootdown(ctx, &mut g, Directive::Invalidate, u64::MAX);
+        let me = ctx.core.id();
+        for &(as_id, vpn) in &g.bindings {
+            if ctx.space().id() == as_id && ctx.pmap.remove(as_id, vpn).is_some() {
+                let asid = ctx.space().asid();
+                ctx.core.atc().invalidate(asid, vpn);
+                if let Ok(space) = self.space(as_id) {
+                    if let Some(e) = space.cmap().entry(vpn) {
+                        e.clear_ref(me);
+                    }
+                }
+            }
+        }
+        g.frozen = false;
+        g.thaws += 1;
+        g.writer_mask = 0;
+        g.remote_map_mask = 0;
+        // One copy, no writable mappings: the page re-enters present1 and
+        // the next fault consults the policy with the old invalidation
+        // history (thawing itself is not an invalidation).
+        g.state = CpState::Present1;
+        KernelStats::bump(&self.stats.thaws);
+        debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+    }
+
+    /// Explicitly thaws the page backing `va` in `ctx`'s address space —
+    /// the "simple mechanism for thawing pages" exposed to run-time
+    /// support (§4.2).
+    pub(crate) fn thaw_va(&self, ctx: &mut UserCtx, va: Va) -> Result<()> {
+        let vpn = ctx.space().vpn_of(va);
+        let entry = ctx
+            .space()
+            .cmap()
+            .entry(vpn)
+            .ok_or(KernelError::Access(numa_machine::AccessErr::NoTranslation(va)))?;
+        self.thaw_cpage(ctx, entry.cpage);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_fires_once_per_period() {
+        let d = DefrostState::new(1000);
+        assert!(!d.claim(500), "before the period");
+        assert!(d.claim(1000));
+        assert!(!d.claim(1000), "second claim in the same period loses");
+        assert!(d.claim(2500));
+        assert!(!d.claim(2600));
+    }
+
+    #[test]
+    fn enroll_deduplicates() {
+        let d = DefrostState::new(1000);
+        d.enroll(CpageId(3));
+        d.enroll(CpageId(3));
+        d.enroll(CpageId(4));
+        assert_eq!(d.enrolled(), 2);
+        assert_eq!(d.take().len(), 2);
+        assert_eq!(d.enrolled(), 0);
+    }
+}

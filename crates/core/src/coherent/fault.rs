@@ -1,0 +1,480 @@
+//! The coherent page fault handler (§3.3 of the paper).
+//!
+//! "Both the replication mechanism and the data coherency protocol are
+//! implemented by the page fault handler." All transitions of Figure 4
+//! are driven from here; the policy module only chooses between
+//! replication/migration and remote mapping.
+
+use std::sync::Arc;
+
+use numa_machine::{AccessErr, AccessKind, PhysPage, Va};
+
+use crate::coherent::cmap::{CmapEntry, Directive};
+use crate::coherent::cpage::{CpState, Cpage, CpageInner};
+use crate::coherent::policy::{FaultAction, FaultInfo};
+use crate::error::{KernelError, Result};
+use crate::kernel::Kernel;
+use crate::stats::KernelStats;
+use crate::user::UserCtx;
+
+impl Kernel {
+    /// Handles a coherent-memory fault at `va` on `ctx`'s processor.
+    ///
+    /// On success the faulting processor's Pmap and ATC hold a
+    /// translation sufficient for the access; the caller retries the
+    /// access. Errors are unrecoverable (bus error / protection at the
+    /// virtual-memory level / out of physical memory).
+    pub(crate) fn coherent_fault(&self, ctx: &mut UserCtx, va: Va, write: bool) -> Result<()> {
+        let costs = self.config().costs.clone();
+        ctx.core.charge(costs.fault_fixed_ns);
+        ctx.core.counters_mut().faults += 1;
+        KernelStats::bump(&self.stats.faults);
+        // A fault is a kernel entry: give the defrost daemon its chance
+        // to run (its clock interrupt, in the paper's terms) before any
+        // page locks are taken.
+        self.maybe_defrost(ctx);
+
+        let vpn = ctx.space().vpn_of(va);
+        // Cmap lookup, charged at the space's home node (§3.3: "the Cpage
+        // fault handler searches the Cmap for an entry that maps the
+        // faulting virtual address").
+        let space = Arc::clone(ctx.space());
+        self.charge_refs(ctx, space.home(), costs.cmap_lookup_refs);
+        let entry = match space.cmap().entry(vpn) {
+            Some(e) => e,
+            // "Otherwise, the fault is passed to the virtual memory fault
+            // handler."
+            None => self.vm_fault(ctx, va)?,
+        };
+        // Virtual-memory-level rights check.
+        if write && !entry.rights.write {
+            return Err(KernelError::Access(AccessErr::Protection(va)));
+        }
+        if !entry.rights.read {
+            return Err(KernelError::Access(AccessErr::Protection(va)));
+        }
+
+        let cpage = self
+            .cpages
+            .get(entry.cpage)
+            .expect("cmap entry points at a missing cpage");
+        let mut g = self.lock_cpage(ctx, &cpage);
+        g.faults += 1;
+        self.charge_refs(ctx, cpage.home(), costs.cpage_touch_refs);
+
+        if write {
+            self.write_fault(ctx, &cpage, &mut g, &entry, vpn)
+        } else {
+            self.read_fault(ctx, &cpage, &mut g, &entry, vpn)
+        }
+    }
+
+    /// The virtual-memory layer: resolves `va` to a region, creates the
+    /// coherent page on first touch, and installs the Cmap entry.
+    fn vm_fault(&self, ctx: &mut UserCtx, va: Va) -> Result<Arc<CmapEntry>> {
+        let costs = self.config().costs.clone();
+        ctx.core.charge(costs.vm_fault_ns);
+        KernelStats::bump(&self.stats.vm_faults);
+        let space = Arc::clone(ctx.space());
+        let vpn = space.vpn_of(va);
+        let region = space
+            .region_for(vpn)
+            .ok_or(KernelError::Access(AccessErr::BusError(va)))?;
+        // First touch homes the page's metadata on the touching node.
+        let cpage_id = region
+            .object
+            .cpage_for(region.object_page(vpn), &self.cpages, ctx.core.id());
+        let entry = space
+            .cmap()
+            .insert(vpn, CmapEntry::new(cpage_id, region.rights));
+        // Record the binding so protocol shootdowns reach every address
+        // space this page is mapped in (§3.1).
+        let cpage = self.cpages.get(cpage_id).expect("fresh cpage exists");
+        let mut g = self.lock_cpage(ctx, &cpage);
+        let binding = (space.id(), vpn);
+        if !g.bindings.contains(&binding) {
+            g.bindings.push(binding);
+        }
+        Ok(entry)
+    }
+
+    // ------------------------------------------------------------------
+    // Read faults
+    // ------------------------------------------------------------------
+
+    fn read_fault(
+        &self,
+        ctx: &mut UserCtx,
+        cpage: &Cpage,
+        g: &mut CpageInner,
+        entry: &CmapEntry,
+        vpn: u64,
+    ) -> Result<()> {
+        let me = ctx.core.id();
+
+        // A local physical copy may already exist (the page can be shared
+        // by multiple address spaces); find it through the inverted page
+        // table, which uses strictly local accesses (§3.3).
+        if g.has_copy_on(me) {
+            let pp = self.ipt_find(ctx, me, cpage)?;
+            self.map_page(ctx, entry, vpn, pp, false, g);
+            return Ok(());
+        }
+
+        match g.state {
+            CpState::Empty => {
+                // First backing page: allocate and zero-fill locally.
+                let pp = self.alloc_frame(ctx, me, cpage)?;
+                self.charge_zero_fill(ctx);
+                g.add_copy(pp);
+                g.state = CpState::Present1;
+                self.map_page(ctx, entry, vpn, pp, false, g);
+                Ok(())
+            }
+            CpState::Present1 | CpState::PresentPlus | CpState::Modified => {
+                let info = FaultInfo {
+                    now: ctx.core.vtime(),
+                    last_invalidation: g.last_invalidation,
+                    frozen: g.frozen,
+                    migrations: g.migrations,
+                    state: g.state,
+                    write: false,
+                };
+                match self.policy().decide(&info) {
+                    FaultAction::Replicate => self.replicate_here(ctx, cpage, g, entry, vpn),
+                    FaultAction::RemoteMap { freeze } => {
+                        let pp = g.copies[0];
+                        self.freeze_if_needed(ctx, cpage, g, freeze);
+                        g.remote_map_mask |= 1u64 << me;
+                        KernelStats::bump(&self.stats.remote_maps);
+                        self.map_page(ctx, entry, vpn, pp, false, g);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replicates the page onto the faulting processor's node for a read:
+    /// restrict any writer first, block-transfer a copy, grow the
+    /// directory.
+    fn replicate_here(
+        &self,
+        ctx: &mut UserCtx,
+        cpage: &Cpage,
+        g: &mut CpageInner,
+        entry: &CmapEntry,
+        vpn: u64,
+    ) -> Result<()> {
+        let me = ctx.core.id();
+        if g.state == CpState::Modified {
+            // "The handler uses the shootdown mechanism to restrict all
+            // virtual-to-physical translations for the Cpage to read-only
+            // access" (§3.3).
+            let writers = g.writer_mask & !(1u64 << me);
+            if writers != 0 {
+                self.shootdown(ctx, g, Directive::RestrictToRead, writers);
+            }
+            // Restrict own writable mapping, if any.
+            ctx.pmap.restrict_to_read(ctx.space().id(), vpn);
+            let asid = ctx.space().asid();
+            ctx.core.atc().restrict_to_read(asid, vpn);
+            g.writer_mask = 0;
+            g.state = CpState::Present1;
+        }
+        if g.frozen {
+            // Thaw-on-access variant of the policy.
+            g.frozen = false;
+            g.thaws += 1;
+            KernelStats::bump(&self.stats.thaws);
+        }
+        // "The handler then performs a block transfer from another
+        // physical copy" (§3.3) — any copy. Spreading requesters across
+        // the existing copies turns a broadcast (every processor reading
+        // a freshly written page, e.g. the Gaussian pivot row) into a
+        // logarithmic fan-out instead of serializing every transfer at
+        // one source engine.
+        let src = g.copies[me % g.copies.len()];
+        let pp = self.alloc_frame(ctx, me, cpage)?;
+        ctx.core.block_transfer(src, pp);
+        g.add_copy(pp);
+        g.state = if g.copies.len() >= 2 {
+            CpState::PresentPlus
+        } else {
+            CpState::Present1
+        };
+        g.replications += 1;
+        KernelStats::bump(&self.stats.replications);
+        self.map_page(ctx, entry, vpn, pp, false, g);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Write faults
+    // ------------------------------------------------------------------
+
+    fn write_fault(
+        &self,
+        ctx: &mut UserCtx,
+        cpage: &Cpage,
+        g: &mut CpageInner,
+        entry: &CmapEntry,
+        vpn: u64,
+    ) -> Result<()> {
+        let me = ctx.core.id();
+        let my_bit = 1u64 << me;
+
+        if let Some(local_pp) = g.copy_on(me) {
+            return match g.state {
+                CpState::Empty => unreachable!("empty state cannot have copies"),
+                CpState::Modified => {
+                    self.map_page(ctx, entry, vpn, local_pp, true, g);
+                    Ok(())
+                }
+                CpState::Present1 => {
+                    // "The transition from present1 to modified requires
+                    // neither [an invalidation nor a reclamation]" (§3.2).
+                    g.state = CpState::Modified;
+                    self.map_page(ctx, entry, vpn, local_pp, true, g);
+                    Ok(())
+                }
+                CpState::PresentPlus => {
+                    // Local copy survives; invalidate and reclaim every
+                    // other replica (§3.3).
+                    let dying = g.copies_mask & !my_bit;
+                    self.invalidate_copies(ctx, g, dying)?;
+                    g.state = CpState::Modified;
+                    g.last_invalidation = Some(ctx.core.vtime());
+                    KernelStats::bump(&self.stats.invalidations);
+                    self.map_page(ctx, entry, vpn, local_pp, true, g);
+                    Ok(())
+                }
+            };
+        }
+
+        // No local copy.
+        if g.state == CpState::Empty {
+            let pp = self.alloc_frame(ctx, me, cpage)?;
+            self.charge_zero_fill(ctx);
+            g.add_copy(pp);
+            g.state = CpState::Modified;
+            self.map_page(ctx, entry, vpn, pp, true, g);
+            return Ok(());
+        }
+
+        let info = FaultInfo {
+            now: ctx.core.vtime(),
+            last_invalidation: g.last_invalidation,
+            frozen: g.frozen,
+            migrations: g.migrations,
+            state: g.state,
+            write: true,
+        };
+        match self.policy().decide(&info) {
+            FaultAction::Replicate => self.migrate_here(ctx, cpage, g, entry, vpn),
+            FaultAction::RemoteMap { freeze } => {
+                // Write through a remote mapping. If the page is
+                // replicated, first collapse it to a single copy.
+                if g.state == CpState::PresentPlus {
+                    let survivor = g.copies[0];
+                    let dying = g.copies_mask & !(1u64 << survivor.module_id());
+                    self.invalidate_copies(ctx, g, dying)?;
+                    g.last_invalidation = Some(ctx.core.vtime());
+                    KernelStats::bump(&self.stats.invalidations);
+                }
+                let pp = g.copies[0];
+                g.state = CpState::Modified;
+                self.freeze_if_needed(ctx, cpage, g, freeze);
+                g.remote_map_mask |= my_bit;
+                KernelStats::bump(&self.stats.remote_maps);
+                self.map_page(ctx, entry, vpn, pp, true, g);
+                Ok(())
+            }
+        }
+    }
+
+    /// Migrates the page to the faulting processor's node for a write:
+    /// copy the data here, invalidate every other translation, reclaim
+    /// the old copies.
+    fn migrate_here(
+        &self,
+        ctx: &mut UserCtx,
+        cpage: &Cpage,
+        g: &mut CpageInner,
+        entry: &CmapEntry,
+        vpn: u64,
+    ) -> Result<()> {
+        let me = ctx.core.id();
+        let my_bit = 1u64 << me;
+        // Copy first (sources are stable: either read-only replicas or a
+        // single modified copy whose writers we are about to invalidate —
+        // and no writer can race us while we hold the page lock, because
+        // granting write access requires this lock).
+        let src = g.copies[0];
+        let pp = self.alloc_frame(ctx, me, cpage)?;
+        // Invalidate every translation to the old copies, ours included.
+        let dying = g.copies_mask;
+        self.shootdown(ctx, g, Directive::Invalidate, !my_bit);
+        if ctx.pmap.remove(ctx.space().id(), vpn).is_some() {
+            let asid = ctx.space().asid();
+                ctx.core.atc().invalidate(asid, vpn);
+        }
+        ctx.core.block_transfer(src, pp);
+        self.reclaim_copies(ctx, g, dying)?;
+        g.writer_mask = 0;
+        g.remote_map_mask = 0;
+        g.add_copy(pp);
+        g.state = CpState::Modified;
+        g.last_invalidation = Some(ctx.core.vtime());
+        g.migrations += 1;
+        if g.frozen {
+            g.frozen = false;
+            g.thaws += 1;
+            KernelStats::bump(&self.stats.thaws);
+        }
+        KernelStats::bump(&self.stats.migrations);
+        KernelStats::bump(&self.stats.invalidations);
+        self.map_page(ctx, entry, vpn, pp, true, g);
+        Ok(())
+    }
+
+    /// Invalidates the translations pointing into `dying` (a module mask)
+    /// and reclaims those frames. Translations to surviving copies are
+    /// left alone thanks to the module-selective directive.
+    fn invalidate_copies(&self, ctx: &mut UserCtx, g: &mut CpageInner, dying: u64) -> Result<()> {
+        // Target processors on the dying modules plus any processor known
+        // to hold a remote mapping (§3.1: the target set "is restricted to
+        // those that are actually using a mapping for this Cpage").
+        let filter = dying | g.remote_map_mask;
+        self.shootdown(ctx, g, Directive::InvalidateModules(dying), filter);
+        self.reclaim_copies(ctx, g, dying)
+    }
+
+    /// Frees every directory copy on the modules in `mask`.
+    fn reclaim_copies(&self, ctx: &mut UserCtx, g: &mut CpageInner, mask: u64) -> Result<()> {
+        let dying: Vec<PhysPage> = g
+            .copies
+            .iter()
+            .copied()
+            .filter(|pp| mask & (1u64 << pp.module_id()) != 0)
+            .collect();
+        for pp in dying {
+            g.remove_copy_on(pp.module_id());
+            // "Freeing a physical page uses one remote memory read and one
+            // write" (§4).
+            ctx.core
+                .charge_kernel_ref(pp.module_id(), AccessKind::Read);
+            ctx.core
+                .charge_kernel_ref(pp.module_id(), AccessKind::Write);
+            self.machine().module(pp.module_id()).free_frame(pp.frame_id());
+            KernelStats::bump(&self.stats.frames_freed);
+        }
+        Ok(())
+    }
+
+    /// Marks the page frozen and enrolls it with the defrost daemon, when
+    /// the policy asked for a freeze and the state allows it (a frozen
+    /// page is always in the modified state, §4.2).
+    fn freeze_if_needed(&self, _ctx: &mut UserCtx, cpage: &Cpage, g: &mut CpageInner, freeze: bool) {
+        if freeze && !g.frozen && g.state == CpState::Modified {
+            g.frozen = true;
+            g.freezes += 1;
+            KernelStats::bump(&self.stats.freezes);
+            self.defrost.enroll(cpage.id());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanics
+    // ------------------------------------------------------------------
+
+    /// Installs the translation on the faulting processor: Pmap entry,
+    /// ATC entry, reference-mask bit, writer bookkeeping.
+    fn map_page(
+        &self,
+        ctx: &mut UserCtx,
+        entry: &CmapEntry,
+        vpn: u64,
+        pp: PhysPage,
+        writable: bool,
+        g: &mut CpageInner,
+    ) {
+        let me = ctx.core.id();
+        self.charge_refs_local(ctx, self.config().costs.map_refs);
+        ctx.pmap.enter(
+            ctx.space.id(),
+            vpn,
+            crate::pmap::PmapEntry { pp, writable },
+        );
+        ctx.core.atc().insert(ctx.space.asid(), vpn, pp, writable);
+        entry.set_ref(me);
+        if writable {
+            g.writer_mask |= 1u64 << me;
+            debug_assert_eq!(g.state, CpState::Modified);
+        }
+        if pp.module_id() == me {
+            g.remote_map_mask &= !(1u64 << me);
+        }
+        debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+    }
+
+    /// Finds the local copy of `cpage` through the inverted page table,
+    /// charging the probes as local references (§3.3: cheaper than
+    /// searching the remote directory list).
+    fn ipt_find(&self, ctx: &mut UserCtx, node: usize, cpage: &Cpage) -> Result<PhysPage> {
+        let probe = self.machine().module(node).find_frame_of(cpage.id().0);
+        ctx.core
+            .charge_word_block(PhysPage::new(node, 0), AccessKind::Read, probe.probes as u64);
+        probe
+            .frame
+            .map(|f| PhysPage::new(node, f))
+            .ok_or_else(|| panic!("directory says node {node} has a copy but the IPT disagrees"))
+    }
+
+    /// Allocates a frame for `cpage` on `node` through the inverted page
+    /// table; under memory pressure, evicts replicas of other pages from
+    /// the module until a frame is free.
+    fn alloc_frame(&self, ctx: &mut UserCtx, node: usize, cpage: &Cpage) -> Result<PhysPage> {
+        loop {
+            match self.machine().module(node).alloc_frame(cpage.id().0) {
+                Some(probe) => {
+                    ctx.core.charge_word_block(
+                        PhysPage::new(node, 0),
+                        AccessKind::Atomic,
+                        probe.probes as u64,
+                    );
+                    return Ok(PhysPage::new(
+                        node,
+                        probe.frame.expect("alloc returns a frame"),
+                    ));
+                }
+                None => {
+                    if !self.reclaim_replica(ctx, node, cpage.id()) {
+                        return Err(KernelError::OutOfMemory);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Zero-fill cost for a fresh page (a fast local clear loop).
+    fn charge_zero_fill(&self, ctx: &mut UserCtx) {
+        let words = self.machine().cfg().words_per_page() as u64;
+        // ~80 ns/word: a tight clear loop is much faster than discrete
+        // word stores on the 68020.
+        ctx.core.charge(words * 80);
+    }
+
+    /// Charges `n` modelled kernel-structure references at `module`.
+    pub(crate) fn charge_refs(&self, ctx: &mut UserCtx, module: usize, n: u32) {
+        ctx.core
+            .charge_word_block(PhysPage::new(module, 0), AccessKind::Read, u64::from(n));
+    }
+
+    /// Charges `n` local kernel references.
+    pub(crate) fn charge_refs_local(&self, ctx: &mut UserCtx, n: u32) {
+        let me = ctx.core.id();
+        ctx.core
+            .charge_word_block(PhysPage::new(me, 0), AccessKind::Read, u64::from(n));
+    }
+}

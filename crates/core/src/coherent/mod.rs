@@ -1,0 +1,22 @@
+//! The coherent memory system: the middle layer of PLATINUM memory
+//! management (§2).
+//!
+//! * [`cpage`] — coherent pages, their four-state protocol, and the
+//!   directory of physical copies (the Cpage system of §2.3),
+//! * [`cmap`] — per-space Cmap entries, reference masks, and the
+//!   shootdown message queues (the Cmap system of §2.3),
+//! * [`policy`] — the replication policy family (§4.2),
+//! * `fault` — the coherent page fault handler (§3.3),
+//! * `shootdown` — the NUMA shootdown mechanism (§3.1),
+//! * [`defrost`] — the defrost daemon (§4.2).
+
+pub mod cmap;
+pub mod cpage;
+pub mod defrost;
+pub mod policy;
+
+mod fault;
+pub(crate) mod reclaim;
+mod shootdown;
+
+pub use shootdown::ShootdownOutcome;

@@ -1,0 +1,293 @@
+//! Replication policies: when to replicate/migrate and when to freeze.
+//!
+//! "PLATINUM is designed to support experimentation with a family of
+//! policies" (§4.2). The [`ReplicationPolicy`] trait is that seam. The
+//! paper's interim policy is [`PlatinumPolicy`]; the baselines used by the
+//! benchmark harness are [`NeverReplicate`] (static placement, standing in
+//! for the Uniform System comparator of Figure 1), [`AlwaysReplicate`]
+//! (coherency at any price, the behaviour of pure software caching), and
+//! [`AceStyle`] (Bolosky et al.'s IBM ACE policy discussed in §8: never
+//! replicate writable pages, migrate a bounded number of times, then
+//! freeze).
+
+use crate::coherent::cpage::CpState;
+
+/// Everything a policy may consult when deciding how to service a fault.
+///
+/// The paper's interim policy uses "a minimal history consisting of a
+/// timestamp for the most recent invalidation"; other members support the
+/// baseline policies.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultInfo {
+    /// The faulting processor's virtual time, ns.
+    pub now: u64,
+    /// Virtual time of the most recent invalidation by the protocol.
+    pub last_invalidation: Option<u64>,
+    /// Whether the page is currently frozen.
+    pub frozen: bool,
+    /// How many times the page has migrated.
+    pub migrations: u32,
+    /// The page's protocol state.
+    pub state: CpState,
+    /// Whether the fault wants write access.
+    pub write: bool,
+}
+
+/// What to do about a miss with no usable local copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Make (or, for writes, move to) a local physical copy.
+    Replicate,
+    /// Map an existing remote copy instead — "using remote memory access
+    /// effectively disables caching on a block-by-block basis" (§1).
+    RemoteMap {
+        /// Whether the page should also be marked frozen (enrolled with
+        /// the defrost daemon). Freezing only applies when the decision
+        /// was made because of write-sharing interference.
+        freeze: bool,
+    },
+}
+
+/// A replication/migration policy.
+pub trait ReplicationPolicy: Send + Sync {
+    /// Decides how to service a miss that has no usable local copy.
+    fn decide(&self, info: &FaultInfo) -> FaultAction;
+
+    /// Whether a *frozen* page whose freeze window has expired may be
+    /// thawed directly by an attempted access, rather than waiting for
+    /// the defrost daemon. §4.2 describes both variants and reports no
+    /// significant difference between them.
+    fn thaw_on_access(&self) -> bool {
+        false
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's interim policy (§4.2): replicate or migrate if the most
+/// recent protocol invalidation is at least `t1` in the past, otherwise
+/// freeze the page.
+#[derive(Clone, Debug)]
+pub struct PlatinumPolicy {
+    /// The interference window, ns. The paper sets 10 ms and reports
+    /// insensitivity from 10 ms up to about 100 ms.
+    pub t1_ns: u64,
+    /// Which post-freeze variant to use (§4.2): `false` keeps creating
+    /// remote mappings until the defrost daemon thaws the page (the
+    /// paper's default); `true` lets an access replicate-and-thaw once
+    /// `t1` has expired.
+    pub thaw_on_access: bool,
+}
+
+impl PlatinumPolicy {
+    /// The paper's configuration: t1 = 10 ms, defrost-only thawing.
+    pub fn paper_default() -> Self {
+        Self {
+            t1_ns: 10_000_000,
+            thaw_on_access: false,
+        }
+    }
+}
+
+impl Default for PlatinumPolicy {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl ReplicationPolicy for PlatinumPolicy {
+    fn decide(&self, info: &FaultInfo) -> FaultAction {
+        let recently_invalidated = match info.last_invalidation {
+            Some(t) => info.now.saturating_sub(t) < self.t1_ns,
+            None => false,
+        };
+        if info.frozen {
+            if self.thaw_on_access && !recently_invalidated {
+                // Alternative policy: the access thaws the page.
+                return FaultAction::Replicate;
+            }
+            // Default policy: remain frozen until the defrost daemon
+            // explicitly thaws the page.
+            return FaultAction::RemoteMap { freeze: true };
+        }
+        if recently_invalidated {
+            // Active write-sharing: running the protocol would cost more
+            // than remote access. Freeze.
+            FaultAction::RemoteMap { freeze: true }
+        } else {
+            FaultAction::Replicate
+        }
+    }
+
+    fn thaw_on_access(&self) -> bool {
+        self.thaw_on_access
+    }
+
+    fn name(&self) -> &'static str {
+        "platinum"
+    }
+}
+
+/// Static placement: never replicate or migrate; always map the existing
+/// copy remotely. First touch decides where a page lives.
+///
+/// This is the behaviour a Uniform System program gets from scattered
+/// static data placement, and is the Figure 1 baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeverReplicate;
+
+impl ReplicationPolicy for NeverReplicate {
+    fn decide(&self, _info: &FaultInfo) -> FaultAction {
+        FaultAction::RemoteMap { freeze: false }
+    }
+
+    fn name(&self) -> &'static str {
+        "never-replicate"
+    }
+}
+
+/// Always replicate/migrate, regardless of interference history — the
+/// behaviour of software caching without the remote-access escape hatch
+/// (Li's shared virtual memory, discussed in §1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysReplicate;
+
+impl ReplicationPolicy for AlwaysReplicate {
+    fn decide(&self, _info: &FaultInfo) -> FaultAction {
+        FaultAction::Replicate
+    }
+
+    fn name(&self) -> &'static str {
+        "always-replicate"
+    }
+}
+
+/// Bolosky et al.'s ACE policy (§8): writable pages are never replicated
+/// and may migrate only `max_migrations` times before being frozen in
+/// place; read-only pages replicate freely.
+#[derive(Clone, Copy, Debug)]
+pub struct AceStyle {
+    /// Migrations permitted before the page is frozen for good.
+    pub max_migrations: u32,
+}
+
+impl Default for AceStyle {
+    fn default() -> Self {
+        Self { max_migrations: 2 }
+    }
+}
+
+impl ReplicationPolicy for AceStyle {
+    fn decide(&self, info: &FaultInfo) -> FaultAction {
+        if info.write || info.state == CpState::Modified {
+            // A writable page: migrate a bounded number of times, then
+            // freeze in place permanently (no defrost in ACE).
+            if info.frozen || info.migrations >= self.max_migrations {
+                FaultAction::RemoteMap { freeze: true }
+            } else {
+                FaultAction::Replicate
+            }
+        } else {
+            FaultAction::Replicate
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ace-style"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(now: u64, last_inval: Option<u64>, frozen: bool) -> FaultInfo {
+        FaultInfo {
+            now,
+            last_invalidation: last_inval,
+            frozen,
+            migrations: 0,
+            state: CpState::Modified,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn platinum_replicates_quiet_pages() {
+        let p = PlatinumPolicy::paper_default();
+        assert_eq!(p.decide(&info(50_000_000, None, false)), FaultAction::Replicate);
+        // Invalidation 20 ms ago: outside t1 = 10 ms.
+        assert_eq!(
+            p.decide(&info(50_000_000, Some(30_000_000), false)),
+            FaultAction::Replicate
+        );
+    }
+
+    #[test]
+    fn platinum_freezes_interfering_pages() {
+        let p = PlatinumPolicy::paper_default();
+        // Invalidation 2 ms ago: inside t1.
+        assert_eq!(
+            p.decide(&info(50_000_000, Some(48_000_000), false)),
+            FaultAction::RemoteMap { freeze: true }
+        );
+    }
+
+    #[test]
+    fn platinum_default_stays_frozen_until_defrost() {
+        let p = PlatinumPolicy::paper_default();
+        // Frozen long ago, window long expired — still remote-mapped.
+        assert_eq!(
+            p.decide(&info(500_000_000, Some(10_000_000), true)),
+            FaultAction::RemoteMap { freeze: true }
+        );
+        assert!(!p.thaw_on_access());
+    }
+
+    #[test]
+    fn platinum_thaw_on_access_variant() {
+        let p = PlatinumPolicy {
+            t1_ns: 10_000_000,
+            thaw_on_access: true,
+        };
+        // Window expired: the access may thaw.
+        assert_eq!(
+            p.decide(&info(500_000_000, Some(10_000_000), true)),
+            FaultAction::Replicate
+        );
+        // Window not expired: stays frozen.
+        assert_eq!(
+            p.decide(&info(15_000_000, Some(10_000_000), true)),
+            FaultAction::RemoteMap { freeze: true }
+        );
+    }
+
+    #[test]
+    fn never_and_always() {
+        assert_eq!(
+            NeverReplicate.decide(&info(0, None, false)),
+            FaultAction::RemoteMap { freeze: false }
+        );
+        assert_eq!(
+            AlwaysReplicate.decide(&info(0, Some(0), false)),
+            FaultAction::Replicate
+        );
+    }
+
+    #[test]
+    fn ace_bounds_migrations() {
+        let p = AceStyle { max_migrations: 2 };
+        let mut i = info(0, None, false);
+        i.write = true;
+        i.migrations = 0;
+        assert_eq!(p.decide(&i), FaultAction::Replicate);
+        i.migrations = 2;
+        assert_eq!(p.decide(&i), FaultAction::RemoteMap { freeze: true });
+        // Read-only data replicates freely.
+        i.write = false;
+        i.state = CpState::Present1;
+        i.migrations = 100;
+        assert_eq!(p.decide(&i), FaultAction::Replicate);
+    }
+}

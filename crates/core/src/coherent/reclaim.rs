@@ -1,0 +1,241 @@
+//! Frame reclamation: unmapping, object teardown, and replica eviction
+//! under memory pressure.
+//!
+//! The paper's kernel ran experiments that fit in the Butterfly's 4 MB
+//! nodes and "issues such as ... long-term storage have received only
+//! cursory attention"; there is no paging to disk. But replication
+//! *consumes* frames, so a production kernel needs a way to give them
+//! back: explicit unmapping, memory-object destruction, and — when a
+//! module runs out of frames — eviction of replicas (a replica is pure
+//! cache: dropping it loses nothing, the next access re-faults).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use numa_machine::{AccessKind, Va};
+
+use crate::coherent::cmap::Directive;
+use crate::coherent::cpage::CpState;
+use crate::error::{KernelError, Result};
+use crate::ids::ObjId;
+use crate::kernel::Kernel;
+use crate::stats::KernelStats;
+use crate::user::UserCtx;
+use crate::vm::object::MemoryObject;
+
+/// Round-robin clock hand for replica eviction, shared by all processors.
+pub(crate) struct ReclaimState {
+    hand: AtomicUsize,
+}
+
+impl ReclaimState {
+    pub(crate) fn new() -> Self {
+        Self {
+            hand: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Kernel {
+    /// Unbinds the region starting at `va` from `ctx`'s address space:
+    /// removes the Cmap entries, invalidates every processor's
+    /// translations through the shootdown mechanism, and drops the
+    /// bindings from the coherent pages. The pages themselves (and their
+    /// frames) survive — they belong to the memory object, which may be
+    /// bound elsewhere.
+    ///
+    /// Returns [`KernelError::Access`] when no region starts at `va`.
+    pub fn unmap(&self, ctx: &mut UserCtx, va: Va) -> Result<()> {
+        let space = Arc::clone(ctx.space());
+        let region = space
+            .unmap_region(va)
+            .ok_or(KernelError::Access(numa_machine::AccessErr::NoTranslation(va)))?;
+        let me = ctx.core.id();
+        for off in 0..region.pages {
+            let vpn = region.vpn_start + off as u64;
+            let Some(entry) = space.cmap().remove(vpn) else {
+                continue; // never touched in this space
+            };
+            let Some(cpage) = self.cpages.get(entry.cpage) else {
+                continue;
+            };
+            let mut g = self.lock_cpage(ctx, &cpage);
+            g.bindings.retain(|&(a, v)| !(a == space.id() && v == vpn));
+            // Invalidate every translation installed through this
+            // binding. Message-based, like any mapping restriction; the
+            // directive is posted to this space's queue so only this
+            // space's translations die.
+            let targets = entry.refs() & !(1u64 << me);
+            if targets != 0 {
+                self.shootdown_one_space(ctx, &space, vpn, Directive::Invalidate, targets);
+            }
+            if ctx.pmap.remove(space.id(), vpn).is_some() {
+                let asid = space.asid();
+                ctx.core.atc().invalidate(asid, vpn);
+            }
+            g.writer_mask = 0;
+            g.remote_map_mask = 0;
+            self.charge_refs(ctx, space.home(), self.config().costs.post_msg_refs);
+        }
+        Ok(())
+    }
+
+    /// Destroys a memory object: fails with [`KernelError::ObjectInUse`]
+    /// while any binding remains; otherwise frees every physical frame of
+    /// every coherent page the object ever created and resets the pages
+    /// to `empty`.
+    pub fn destroy_object(&self, ctx: &mut UserCtx, object: &MemoryObject) -> Result<()> {
+        let _: ObjId = object.id();
+        // First pass: refuse if any page is still bound anywhere.
+        for (_, cpage_id) in object.touched_cpages() {
+            if let Some(cpage) = self.cpages.get(cpage_id) {
+                let g = self.lock_cpage(ctx, &cpage);
+                if !g.bindings.is_empty() {
+                    return Err(KernelError::ObjectInUse(object.id()));
+                }
+            }
+        }
+        // Second pass: release the frames.
+        for (_, cpage_id) in object.touched_cpages() {
+            let Some(cpage) = self.cpages.get(cpage_id) else {
+                continue;
+            };
+            let mut g = self.lock_cpage(ctx, &cpage);
+            let copies: Vec<_> = g.copies.clone();
+            for pp in copies {
+                g.remove_copy_on(pp.module_id());
+                ctx.core.charge_kernel_ref(pp.module_id(), AccessKind::Read);
+                ctx.core.charge_kernel_ref(pp.module_id(), AccessKind::Write);
+                self.machine().module(pp.module_id()).free_frame(pp.frame_id());
+                KernelStats::bump(&self.stats.frames_freed);
+            }
+            g.state = CpState::Empty;
+            g.writer_mask = 0;
+            g.remote_map_mask = 0;
+            g.frozen = false;
+            debug_assert!(g.check_invariants().is_ok());
+        }
+        Ok(())
+    }
+
+    /// Evicts one replica from `node` to free a frame, if any coherent
+    /// page other than `exclude` has a spare copy there. A replica is
+    /// pure cache, so eviction is always safe: translations to it are
+    /// invalidated and the next access re-faults to another copy.
+    ///
+    /// Returns whether a frame was freed.
+    pub(crate) fn reclaim_replica(
+        &self,
+        ctx: &mut UserCtx,
+        node: usize,
+        exclude: crate::ids::CpageId,
+    ) -> bool {
+        let total = self.cpages.len();
+        if total == 0 {
+            return false;
+        }
+        let start = self.reclaim.hand.fetch_add(1, Ordering::Relaxed);
+        for i in 0..total {
+            let idx = (start + i) % total;
+            let Some(cpage) = self.cpages.get(crate::ids::CpageId(idx as u64)) else {
+                continue;
+            };
+            if cpage.id() == exclude {
+                continue;
+            }
+            // try_lock only: the caller may hold another page's lock, and
+            // blocking here could deadlock two reclaiming processors.
+            let Some(mut g) = cpage.try_lock() else {
+                continue;
+            };
+            if g.frozen || g.copies.len() < 2 || !g.has_copy_on(node) {
+                continue;
+            }
+            debug_assert_eq!(g.state, CpState::PresentPlus);
+            let victim_mask = 1u64 << node;
+            let filter = victim_mask | g.remote_map_mask;
+            self.shootdown(ctx, &mut g, Directive::InvalidateModules(victim_mask), filter);
+            // Our own translation may point at the dying copy.
+            self.drop_own_mapping_into(ctx, &g, victim_mask);
+            let pp = g.remove_copy_on(node);
+            ctx.core.charge_kernel_ref(node, AccessKind::Read);
+            ctx.core.charge_kernel_ref(node, AccessKind::Write);
+            self.machine().module(node).free_frame(pp.frame_id());
+            if g.copies.len() == 1 {
+                g.state = CpState::Present1;
+            }
+            KernelStats::bump(&self.stats.frames_freed);
+            KernelStats::bump(&self.stats.reclaims);
+            debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+            return true;
+        }
+        false
+    }
+
+    /// Removes the calling processor's own translations that point into
+    /// the module mask (the shootdown mechanism excludes the initiator).
+    pub(crate) fn drop_own_mapping_into(
+        &self,
+        ctx: &mut UserCtx,
+        g: &crate::coherent::cpage::CpageInner,
+        module_mask: u64,
+    ) {
+        let me_space = ctx.space().id();
+        let asid = ctx.space().asid();
+        for &(as_id, vpn) in &g.bindings {
+            if as_id != me_space {
+                continue;
+            }
+            let points_in = ctx
+                .pmap
+                .lookup(as_id, vpn)
+                .map(|e| module_mask & (1u64 << e.pp.module_id()) != 0)
+                .unwrap_or(false);
+            if points_in {
+                ctx.pmap.remove(as_id, vpn);
+                ctx.core.atc().invalidate(asid, vpn);
+                if let Ok(space) = self.space(as_id) {
+                    if let Some(e) = space.cmap().entry(vpn) {
+                        e.clear_ref(ctx.core.id());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Posts a shootdown message to a single space (used by unmap, where
+    /// only one binding is dying).
+    fn shootdown_one_space(
+        &self,
+        ctx: &mut UserCtx,
+        space: &crate::AddressSpace,
+        vpn: u64,
+        directive: Directive,
+        targets: u64,
+    ) {
+        use crate::coherent::cmap::CmapMsg;
+        let msg = CmapMsg::new(vpn, directive, targets);
+        space.cmap().post(Arc::clone(&msg));
+        KernelStats::bump(&self.stats.shootdowns);
+        let mut awaited = 0u64;
+        for p in numa_machine::procs_in_mask(targets) {
+            if self.slots[p].active.lock().contains(&space.id()) {
+                self.machine().post_ipi(p);
+                ctx.core.charge(self.machine().cfg().timing.ipi_ns);
+                awaited |= 1u64 << p;
+                KernelStats::bump(&self.stats.ipis_sent);
+            }
+        }
+        let mut spins = 0u32;
+        while msg.pending() & awaited != 0 {
+            if ctx.core.take_ipi() {
+                ctx.drain_messages();
+            }
+            std::hint::spin_loop();
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(8) {
+                std::thread::yield_now();
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The NUMA shootdown mechanism (§3.1 of the paper).
+//!
+//! "Part of the protocol is performed by the processor initiating the
+//! shootdown and part is performed by the processors sharing the address
+//! space with the initiator. They communicate through the Cmap message
+//! queues and synchronize through interprocessor interrupts."
+//!
+//! The initiator posts a [`CmapMsg`] to the queue of every address space
+//! the coherent page is bound in, interrupts only the targets that (a)
+//! actually hold a translation (the Cmap entry's reference mask) and (b)
+//! currently have the space active, and then waits for those targets to
+//! acknowledge. Inactive targets apply the change when they next activate
+//! the space — before running any thread in it — so they are never
+//! interrupted and never waited for. This is the key difference from the
+//! Mach mechanism, which "must interrupt each processor with the address
+//! space activated, even if that processor has never referenced the
+//! page"; the [`ShootdownMode::SharedPmapStall`] comparator models that
+//! behaviour for the §4 measurement.
+
+use std::sync::Arc;
+
+use numa_machine::{procs_in_mask, AccessKind, PhysPage};
+
+use crate::coherent::cmap::{CmapMsg, Directive};
+use crate::coherent::cpage::CpageInner;
+use crate::kernel::{Kernel, ShootdownMode};
+use crate::stats::KernelStats;
+use crate::user::UserCtx;
+
+/// What a shootdown did, for statistics and the §4 micro-benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShootdownOutcome {
+    /// Distinct processors that must eventually apply the change.
+    pub targets: u32,
+    /// Interprocessor interrupts actually sent (targets with the space
+    /// active, or in Mach mode every active processor).
+    pub ipis: u32,
+}
+
+impl Kernel {
+    /// Initiates a shootdown for the coherent page whose inner state is
+    /// `g`, posting `directive` to every address space the page is bound
+    /// in. Only processors in `filter` (a processor bitmask) are
+    /// targeted; the initiator is always excluded and handles its own
+    /// mappings inline.
+    ///
+    /// Blocks (polling its own IPI doorbell, so concurrent initiators
+    /// cannot deadlock) until every *active* target acknowledged, then
+    /// advances the initiator's clock to the latest acknowledgment time.
+    /// After return, no processor can use a translation the directive
+    /// removed or restricted.
+    pub(crate) fn shootdown(
+        &self,
+        ctx: &mut UserCtx,
+        g: &mut CpageInner,
+        directive: Directive,
+        filter: u64,
+    ) -> ShootdownOutcome {
+        let me = ctx.core.id();
+        let my_bit = 1u64 << me;
+        let costs = self.config().costs.clone();
+        let mach_mode = self.config().shootdown == ShootdownMode::SharedPmapStall;
+        KernelStats::bump(&self.stats.shootdowns);
+
+        let mut posted: Vec<(Arc<CmapMsg>, u64)> = Vec::new();
+        let mut all_targets = 0u64;
+        let mut ipis = 0u32;
+
+        for &(as_id, vpn) in &g.bindings {
+            let Ok(space) = self.space(as_id) else { continue };
+            let Some(entry) = space.cmap().entry(vpn) else {
+                continue;
+            };
+            let targets = entry.refs() & filter & !my_bit;
+            if targets == 0 {
+                continue;
+            }
+            all_targets |= targets;
+            let msg = CmapMsg::new(vpn, directive, targets);
+            self.charge_refs_at(ctx, space.home(), costs.post_msg_refs, AccessKind::Write);
+            space.cmap().post(Arc::clone(&msg));
+
+            // Interrupt the targets that have the space active; the rest
+            // will apply the change on activation. The slot mutex orders
+            // this check against concurrent (de)activation: whoever sees
+            // the other's effect first, the message is never missed.
+            let mut awaited = 0u64;
+            if mach_mode {
+                // Mach comparator: every processor with the space active
+                // is interrupted and stalled, referenced or not.
+                for p in 0..self.machine().nprocs() {
+                    if p == me {
+                        continue;
+                    }
+                    if self.slots[p].active.lock().contains(&as_id) {
+                        self.machine().post_ipi(p);
+                        ctx.core.charge(
+                            self.machine().cfg().timing.ipi_ns + costs.mach_stall_extra_ns,
+                        );
+                        ipis += 1;
+                        if targets & (1u64 << p) != 0 {
+                            awaited |= 1u64 << p;
+                        }
+                    }
+                }
+            } else {
+                for p in procs_in_mask(targets) {
+                    if self.slots[p].active.lock().contains(&as_id) {
+                        self.machine().post_ipi(p);
+                        ctx.core.charge(self.machine().cfg().timing.ipi_ns);
+                        ipis += 1;
+                        awaited |= 1u64 << p;
+                    }
+                }
+            }
+            posted.push((msg, awaited));
+        }
+
+        KernelStats::add(&self.stats.ipis_sent, u64::from(ipis));
+
+        // Wait for the active targets. Poll our own doorbell throughout:
+        // another initiator may be shooting *us* down at the same time,
+        // and servicing it is what breaks the symmetry.
+        //
+        // Note that this wait is a *real-time* correctness handshake (no
+        // target may use a revoked translation once we proceed), not a
+        // virtual-time cost: on the real machine the interrupt reaches
+        // the target within ~7 us no matter what it is executing, so the
+        // initiator's clock is charged the IPI cost above and is NOT
+        // dragged to the target's (skewed) clock.
+        for (msg, awaited) in &posted {
+            let mut spins = 0u32;
+            while msg.pending() & awaited != 0 {
+                if ctx.core.take_ipi() {
+                    ctx.drain_messages();
+                }
+                std::hint::spin_loop();
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(8) {
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        ShootdownOutcome {
+            targets: all_targets.count_ones(),
+            ipis,
+        }
+    }
+
+    /// Charges `n` modelled kernel references of `kind` at `module`.
+    pub(crate) fn charge_refs_at(&self, ctx: &mut UserCtx, module: usize, n: u32, kind: AccessKind) {
+        ctx.core
+            .charge_word_block(PhysPage::new(module, 0), kind, u64::from(n));
+    }
+}

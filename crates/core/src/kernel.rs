@@ -1,0 +1,378 @@
+//! The kernel object: registries, configuration, and processor slots.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
+
+use numa_machine::{Machine, ProcCore};
+
+use crate::coherent::cpage::{Cpage, CpageInner, CpageTable};
+use crate::coherent::defrost::DefrostState;
+use crate::coherent::reclaim::ReclaimState;
+use crate::coherent::policy::{PlatinumPolicy, ReplicationPolicy};
+use crate::costs::KernelCosts;
+use crate::error::{KernelError, Result};
+use crate::ids::{AsId, ObjId, PortId, ThreadId};
+use crate::port::Port;
+use crate::stats::{KernelStats, MemoryReport};
+use crate::thread::{ThreadInfo, ThreadTable};
+use crate::user::UserCtx;
+use crate::vm::object::MemoryObject;
+use crate::vm::space::AddressSpace;
+
+/// Which shootdown mechanism the kernel uses (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShootdownMode {
+    /// PLATINUM's mechanism: per-processor Pmaps, Cmap message queues,
+    /// and interrupts only for processors that actually hold a
+    /// translation and have the space active.
+    PerProcessorPmap,
+    /// The Mach-style comparator: a shared Pmap per space forces the
+    /// initiator to interrupt *every* processor with the space active and
+    /// to stall them while it updates the shared table. Used by the §4
+    /// micro-benchmark to reproduce the ~7 us vs ~55 us comparison.
+    SharedPmapStall,
+}
+
+/// Kernel configuration.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// The cost model.
+    pub costs: KernelCosts,
+    /// Defrost daemon period t2 (§4.2; the paper sets 1 s).
+    pub t2_defrost_ns: u64,
+    /// Shootdown mechanism.
+    pub shootdown: ShootdownMode,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            costs: KernelCosts::default(),
+            t2_defrost_ns: 1_000_000_000,
+            shootdown: ShootdownMode::PerProcessorPmap,
+        }
+    }
+}
+
+/// Per-processor kernel slot: thread occupancy and the set of address
+/// spaces currently *active* on the processor.
+///
+/// Activity gates shootdown interrupts: "a processor need only be
+/// interrupted to perform the change if the address space is currently
+/// active. The remainder of the target processors will update their Pmaps
+/// when they activate the address space" (§3.1).
+pub(crate) struct ProcSlot {
+    /// Whether a thread is bound to the processor (the simulator runs at
+    /// most one thread per processor; see DESIGN.md).
+    pub occupied: AtomicBool,
+    /// Address spaces active on this processor. The mutex also provides
+    /// the ordering that makes the post-message-then-check-activity
+    /// handshake race-free.
+    pub active: Mutex<HashSet<AsId>>,
+}
+
+/// The PLATINUM kernel.
+///
+/// Owns the registries of the globally-named abstractions (§1.1: memory
+/// objects, address spaces, ports, threads), the coherent page table, the
+/// replication policy, and the defrost daemon state. All activity runs on
+/// user threads that enter the kernel through their [`UserCtx`].
+pub struct Kernel {
+    machine: Arc<Machine>,
+    cfg: KernelConfig,
+    policy: Box<dyn ReplicationPolicy>,
+    pub(crate) cpages: CpageTable,
+    objects: RwLock<Vec<Arc<MemoryObject>>>,
+    spaces: RwLock<Vec<Arc<AddressSpace>>>,
+    ports: RwLock<Vec<Arc<Port>>>,
+    pub(crate) slots: Box<[ProcSlot]>,
+    pub(crate) stats: KernelStats,
+    pub(crate) defrost: DefrostState,
+    pub(crate) reclaim: ReclaimState,
+    pub(crate) threads: ThreadTable,
+}
+
+impl Kernel {
+    /// Boots a kernel on `machine` with the paper's default policy and
+    /// configuration.
+    pub fn new(machine: Arc<Machine>) -> Arc<Self> {
+        Self::with_policy(machine, Box::new(PlatinumPolicy::paper_default()))
+    }
+
+    /// Boots a kernel with a specific replication policy.
+    pub fn with_policy(machine: Arc<Machine>, policy: Box<dyn ReplicationPolicy>) -> Arc<Self> {
+        Self::with_config(machine, policy, KernelConfig::default())
+    }
+
+    /// Boots a kernel with full control of policy and configuration.
+    pub fn with_config(
+        machine: Arc<Machine>,
+        policy: Box<dyn ReplicationPolicy>,
+        cfg: KernelConfig,
+    ) -> Arc<Self> {
+        let slots = (0..machine.nprocs())
+            .map(|_| ProcSlot {
+                occupied: AtomicBool::new(false),
+                active: Mutex::new(HashSet::new()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let defrost = DefrostState::new(cfg.t2_defrost_ns);
+        let reclaim = ReclaimState::new();
+        Arc::new(Self {
+            machine,
+            cfg,
+            policy,
+            cpages: CpageTable::new(),
+            objects: RwLock::new(Vec::new()),
+            spaces: RwLock::new(Vec::new()),
+            ports: RwLock::new(Vec::new()),
+            slots,
+            stats: KernelStats::default(),
+            defrost,
+            reclaim,
+            threads: ThreadTable::new(),
+        })
+    }
+
+    /// The machine the kernel runs on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// The active replication policy.
+    pub fn policy(&self) -> &dyn ReplicationPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Creates a memory object of `pages` pages, homing its metadata
+    /// round-robin across nodes (kernel decentralization, §2.2).
+    pub fn create_object(&self, pages: usize) -> Arc<MemoryObject> {
+        let mut objs = self.objects.write();
+        let id = ObjId(objs.len() as u32);
+        let home = id.index() % self.machine.nprocs();
+        let obj = Arc::new(MemoryObject::new(id, home, pages));
+        objs.push(Arc::clone(&obj));
+        obj
+    }
+
+    /// Creates a memory object homed on a specific node.
+    pub fn create_object_homed(&self, pages: usize, home: usize) -> Arc<MemoryObject> {
+        let mut objs = self.objects.write();
+        let id = ObjId(objs.len() as u32);
+        let obj = Arc::new(MemoryObject::new(id, home % self.machine.nprocs(), pages));
+        objs.push(Arc::clone(&obj));
+        obj
+    }
+
+    /// Looks up a memory object by name.
+    pub fn object(&self, id: ObjId) -> Result<Arc<MemoryObject>> {
+        self.objects
+            .read()
+            .get(id.index())
+            .cloned()
+            .ok_or(KernelError::NoSuchObject(id))
+    }
+
+    /// Creates an address space, homing its metadata round-robin.
+    pub fn create_space(&self) -> Arc<AddressSpace> {
+        let mut spaces = self.spaces.write();
+        let id = AsId(spaces.len() as u32);
+        let home = id.index() % self.machine.nprocs();
+        let space = Arc::new(AddressSpace::new(
+            id,
+            home,
+            self.machine.cfg().page_shift,
+        ));
+        spaces.push(Arc::clone(&space));
+        space
+    }
+
+    /// Looks up an address space by name.
+    pub fn space(&self, id: AsId) -> Result<Arc<AddressSpace>> {
+        self.spaces
+            .read()
+            .get(id.index())
+            .cloned()
+            .ok_or(KernelError::NoSuchSpace(id))
+    }
+
+    /// Creates a port.
+    pub fn create_port(&self) -> Arc<Port> {
+        let mut ports = self.ports.write();
+        let id = PortId(ports.len() as u32);
+        let home = id.index() % self.machine.nprocs();
+        let port = Arc::new(Port::new(id, home));
+        ports.push(Arc::clone(&port));
+        port
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, id: PortId) -> Result<Arc<Port>> {
+        self.ports
+            .read()
+            .get(id.index())
+            .cloned()
+            .ok_or(KernelError::NoSuchPort(id))
+    }
+
+    /// Binds a new thread to processor `proc`, executing in `space`.
+    /// Returns the user context the thread drives.
+    ///
+    /// At most one thread may be bound to a processor at a time (the
+    /// simulator does not multiplex threads on a processor; see
+    /// DESIGN.md). Fails with [`KernelError::ProcessorBusy`] otherwise.
+    pub fn attach(
+        self: &Arc<Self>,
+        space: Arc<AddressSpace>,
+        proc: usize,
+        start_vtime: u64,
+    ) -> Result<UserCtx> {
+        let slot = &self.slots[proc];
+        if slot
+            .occupied
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(KernelError::ProcessorBusy(proc));
+        }
+        let core = ProcCore::new(Arc::clone(&self.machine), proc, start_vtime);
+        Ok(UserCtx::new(Arc::clone(self), core, space))
+    }
+
+    /// A snapshot of one thread's kernel state.
+    pub fn thread_info(&self, id: ThreadId) -> Option<ThreadInfo> {
+        self.threads.get(id)
+    }
+
+    /// Snapshots of every thread ever created.
+    pub fn thread_list(&self) -> Vec<ThreadInfo> {
+        self.threads.all()
+    }
+
+    /// The coherent page backing `va` in `space`, if that page has ever
+    /// been touched (instrumentation and tests).
+    pub fn cpage_for_va(
+        &self,
+        space: &AddressSpace,
+        va: numa_machine::Va,
+    ) -> Option<Arc<Cpage>> {
+        let entry = space.cmap().entry(space.vpn_of(va))?;
+        self.cpages.get(entry.cpage)
+    }
+
+    /// Kernel-wide event counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Builds the post-mortem memory-management report (§4.2).
+    pub fn report(&self) -> MemoryReport {
+        MemoryReport::build(&self.cpages, &self.stats)
+    }
+
+    /// Locks a coherent page from the fault path: polls the caller's IPI
+    /// doorbell while waiting (so two initiators can never deadlock) and
+    /// accumulates the paper's per-page contention measure.
+    pub(crate) fn lock_cpage<'a>(
+        &self,
+        ctx: &mut UserCtx,
+        page: &'a Cpage,
+    ) -> MutexGuard<'a, CpageInner> {
+        // Fast path.
+        if let Some(g) = page.try_lock() {
+            return g;
+        }
+        let mut waited_ns = 0u64;
+        let mut spins = 0u32;
+        loop {
+            if ctx.core.take_ipi() {
+                ctx.drain_messages();
+            }
+            std::hint::spin_loop();
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(8) {
+                std::thread::yield_now();
+            }
+            // Model each retry as a brief kernel delay.
+            waited_ns += 200;
+            if let Some(mut g) = page.try_lock() {
+                ctx.core.charge(waited_ns);
+                g.lock_wait_ns += waited_ns;
+                return g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_machine::MachineConfig;
+
+    fn kernel() -> Arc<Kernel> {
+        let m = Machine::new(MachineConfig {
+            nodes: 4,
+            frames_per_node: 32,
+            skew_window_ns: None,
+            ..MachineConfig::default()
+        })
+        .unwrap();
+        Kernel::new(m)
+    }
+
+    #[test]
+    fn registries() {
+        let k = kernel();
+        let o = k.create_object(4);
+        assert_eq!(o.id(), ObjId(0));
+        assert!(k.object(ObjId(0)).is_ok());
+        assert!(matches!(
+            k.object(ObjId(9)),
+            Err(KernelError::NoSuchObject(_))
+        ));
+        let s = k.create_space();
+        assert_eq!(s.id(), AsId(0));
+        assert!(k.space(AsId(0)).is_ok());
+        let p = k.create_port();
+        assert!(k.port(p.id()).is_ok());
+    }
+
+    #[test]
+    fn object_homes_round_robin() {
+        let k = kernel();
+        let homes: Vec<usize> = (0..6).map(|_| k.create_object(1).home()).collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1]);
+        assert_eq!(k.create_object_homed(1, 9).home(), 1, "wraps modulo nodes");
+    }
+
+    #[test]
+    fn attach_excludes_double_binding() {
+        let k = kernel();
+        let s = k.create_space();
+        let ctx = k.attach(Arc::clone(&s), 2, 0).unwrap();
+        assert!(matches!(
+            k.attach(Arc::clone(&s), 2, 0),
+            Err(KernelError::ProcessorBusy(2))
+        ));
+        drop(ctx);
+        // Dropping the context releases the processor.
+        assert!(k.attach(s, 2, 0).is_ok());
+    }
+
+    #[test]
+    fn default_config() {
+        let k = kernel();
+        assert_eq!(k.config().t2_defrost_ns, 1_000_000_000);
+        assert_eq!(k.config().shootdown, ShootdownMode::PerProcessorPmap);
+        assert_eq!(k.policy().name(), "platinum");
+    }
+}

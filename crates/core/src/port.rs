@@ -1,0 +1,120 @@
+//! Ports: globally-named message queues (§1.1 of the paper).
+//!
+//! "A port is a message queue that can have any number of senders and
+//! receivers. Messages are variable-length arrays of zero or more bytes.
+//! Globally named, ports provide a communication medium usable by threads
+//! that do not share a common memory object. They also provide blocking
+//! synchronization."
+//!
+//! Messages here are arrays of 32-bit words (the machine's unit of
+//! access). A send charges the block-transfer rate for the message body;
+//! a blocked receiver deactivates its address space so shootdowns never
+//! wait on it, exactly as a thread blocked in the kernel would on the
+//! real system.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::ids::PortId;
+use crate::user::UserCtx;
+
+struct Message {
+    data: Vec<u32>,
+    /// The sender's virtual time when the send completed; the receiver's
+    /// clock advances to at least this (message causality).
+    sent_at: u64,
+}
+
+/// A port: a multi-sender, multi-receiver message queue.
+pub struct Port {
+    id: PortId,
+    home: usize,
+    queue: Mutex<VecDeque<Message>>,
+    available: Condvar,
+}
+
+impl Port {
+    pub(crate) fn new(id: PortId, home: usize) -> Self {
+        Self {
+            id,
+            home,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The port's global name.
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// The node homing the port's kernel state (cost model).
+    pub fn home(&self) -> usize {
+        self.home
+    }
+
+    /// The number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+}
+
+impl UserCtx {
+    /// Sends `data` to `port`. Never blocks (queues are unbounded, as in
+    /// the paper's model).
+    pub fn port_send(&mut self, port: &Port, data: &[u32]) {
+        let costs = &self.kernel.config().costs;
+        let block_word_ns = self.kernel.machine().cfg().timing.block_word_ns;
+        // Fixed kernel overhead plus the copy into kernel memory at the
+        // block-transfer rate.
+        self.core
+            .charge(costs.port_op_ns + data.len() as u64 * block_word_ns);
+        let msg = Message {
+            data: data.to_vec(),
+            sent_at: self.core.vtime(),
+        };
+        let mut q = port.queue.lock();
+        q.push_back(msg);
+        port.available.notify_one();
+    }
+
+    /// Receives the next message from `port`, blocking until one arrives.
+    ///
+    /// While blocked the thread's address space is deactivated, so
+    /// shootdown initiators never wait on it; mapping changes are applied
+    /// on reactivation (§3.1).
+    pub fn port_recv(&mut self, port: &Port) -> Vec<u32> {
+        let costs_port_op = self.kernel.config().costs.port_op_ns;
+        let block_word_ns = self.kernel.machine().cfg().timing.block_word_ns;
+        let msg = self.block_in_kernel(|| {
+            let mut q = port.queue.lock();
+            loop {
+                if let Some(m) = q.pop_front() {
+                    return m;
+                }
+                port.available.wait(&mut q);
+            }
+        });
+        // Causality: the receive completes no earlier than the send.
+        self.core.advance_to(msg.sent_at);
+        self.core
+            .charge(costs_port_op + msg.data.len() as u64 * block_word_ns);
+        msg.data
+    }
+
+    /// Receives a message if one is queued, without blocking.
+    pub fn port_try_recv(&mut self, port: &Port) -> Option<Vec<u32>> {
+        let m = port.queue.lock().pop_front()?;
+        let block_word_ns = self.kernel.machine().cfg().timing.block_word_ns;
+        self.core.advance_to(m.sent_at);
+        self.core
+            .charge(self.kernel.config().costs.port_op_ns + m.data.len() as u64 * block_word_ns);
+        Some(m.data)
+    }
+}

@@ -1,0 +1,280 @@
+//! Kernel instrumentation and the post-mortem memory-management report.
+//!
+//! "In addition to timing data, the kernel produces a detailed report on
+//! the behavior of memory management. For each Cpage this includes the
+//! number of coherent memory faults, a measure of contention in the Cpage
+//! fault handler for that page, and whether the Cpage was frozen by the
+//! replication policy" (§4.2). That report diagnosed the frozen
+//! spin-lock-page bottleneck in the Gaussian elimination anecdote; the
+//! `anecdote_freeze` bench reproduces that workflow with this module.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::coherent::cpage::{CpState, CpageTable};
+use crate::ids::CpageId;
+
+/// Machine-wide kernel event counters.
+#[derive(Default)]
+pub struct KernelStats {
+    /// Coherent-memory page faults handled.
+    pub faults: AtomicU64,
+    /// Faults that fell through to the virtual-memory layer (first touch).
+    pub vm_faults: AtomicU64,
+    /// Page replications performed (a new physical copy created).
+    pub replications: AtomicU64,
+    /// Page migrations performed (copy moved, original invalidated).
+    pub migrations: AtomicU64,
+    /// Remote mappings created instead of replication/migration.
+    pub remote_maps: AtomicU64,
+    /// Pages frozen by the replication policy.
+    pub freezes: AtomicU64,
+    /// Pages thawed (defrost daemon or explicit).
+    pub thaws: AtomicU64,
+    /// Protocol invalidation events (the ones that feed the policy's
+    /// interference history).
+    pub invalidations: AtomicU64,
+    /// Shootdown operations initiated.
+    pub shootdowns: AtomicU64,
+    /// Interprocessor interrupts sent.
+    pub ipis_sent: AtomicU64,
+    /// Physical frames freed by the protocol.
+    pub frames_freed: AtomicU64,
+    /// Defrost daemon activations.
+    pub defrost_runs: AtomicU64,
+    /// Replica evictions performed under memory pressure.
+    pub reclaims: AtomicU64,
+}
+
+impl KernelStats {
+    /// Increments `counter`.
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to `counter`.
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            faults: self.faults.load(Ordering::Relaxed),
+            vm_faults: self.vm_faults.load(Ordering::Relaxed),
+            replications: self.replications.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            remote_maps: self.remote_maps.load(Ordering::Relaxed),
+            freezes: self.freezes.load(Ordering::Relaxed),
+            thaws: self.thaws.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            shootdowns: self.shootdowns.load(Ordering::Relaxed),
+            ipis_sent: self.ipis_sent.load(Ordering::Relaxed),
+            frames_freed: self.frames_freed.load(Ordering::Relaxed),
+            defrost_runs: self.defrost_runs.load(Ordering::Relaxed),
+            reclaims: self.reclaims.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`KernelStats`]; field meanings match the
+/// counters there.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Coherent-memory page faults handled.
+    pub faults: u64,
+    /// Faults that fell through to the virtual-memory layer.
+    pub vm_faults: u64,
+    /// Page replications performed.
+    pub replications: u64,
+    /// Page migrations performed.
+    pub migrations: u64,
+    /// Remote mappings created instead of replication/migration.
+    pub remote_maps: u64,
+    /// Pages frozen by the replication policy.
+    pub freezes: u64,
+    /// Pages thawed.
+    pub thaws: u64,
+    /// Protocol invalidation events.
+    pub invalidations: u64,
+    /// Shootdown operations initiated.
+    pub shootdowns: u64,
+    /// Interprocessor interrupts sent.
+    pub ipis_sent: u64,
+    /// Physical frames freed.
+    pub frames_freed: u64,
+    /// Defrost daemon activations.
+    pub defrost_runs: u64,
+    /// Replica evictions under memory pressure.
+    pub reclaims: u64,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel events:")?;
+        writeln!(f, "  faults            {:>10}", self.faults)?;
+        writeln!(f, "  vm faults         {:>10}", self.vm_faults)?;
+        writeln!(f, "  replications      {:>10}", self.replications)?;
+        writeln!(f, "  migrations        {:>10}", self.migrations)?;
+        writeln!(f, "  remote maps       {:>10}", self.remote_maps)?;
+        writeln!(f, "  freezes           {:>10}", self.freezes)?;
+        writeln!(f, "  thaws             {:>10}", self.thaws)?;
+        writeln!(f, "  invalidations     {:>10}", self.invalidations)?;
+        writeln!(f, "  shootdowns        {:>10}", self.shootdowns)?;
+        writeln!(f, "  IPIs sent         {:>10}", self.ipis_sent)?;
+        writeln!(f, "  frames freed      {:>10}", self.frames_freed)?;
+        writeln!(f, "  defrost runs      {:>10}", self.defrost_runs)?;
+        writeln!(f, "  replica reclaims  {:>10}", self.reclaims)
+    }
+}
+
+/// Per-coherent-page line of the post-mortem report.
+#[derive(Clone, Debug)]
+pub struct CpageReport {
+    /// The page.
+    pub id: CpageId,
+    /// Node homing its metadata.
+    pub home: usize,
+    /// Protocol state at report time.
+    pub state: CpState,
+    /// Physical copies at report time.
+    pub copies: usize,
+    /// Coherent-memory faults taken on this page.
+    pub faults: u64,
+    /// Whether the page is frozen right now.
+    pub frozen_now: bool,
+    /// Times the policy froze the page.
+    pub freezes: u32,
+    /// Times the page was thawed.
+    pub thaws: u32,
+    /// Replications of this page.
+    pub replications: u32,
+    /// Migrations of this page.
+    pub migrations: u32,
+    /// Contention measure: virtual ns spent waiting for this page's lock
+    /// in the fault handler.
+    pub lock_wait_ns: u64,
+}
+
+/// The post-mortem memory-management report.
+pub struct MemoryReport {
+    /// One line per coherent page ever created.
+    pub pages: Vec<CpageReport>,
+    /// Machine-wide event counters.
+    pub totals: StatsSnapshot,
+}
+
+impl MemoryReport {
+    pub(crate) fn build(table: &CpageTable, stats: &KernelStats) -> Self {
+        let pages = table
+            .snapshot()
+            .into_iter()
+            .map(|p| {
+                let g = p.lock();
+                CpageReport {
+                    id: p.id(),
+                    home: p.home(),
+                    state: g.state,
+                    copies: g.copies.len(),
+                    faults: g.faults,
+                    frozen_now: g.frozen,
+                    freezes: g.freezes,
+                    thaws: g.thaws,
+                    replications: g.replications,
+                    migrations: g.migrations,
+                    lock_wait_ns: g.lock_wait_ns,
+                }
+            })
+            .collect();
+        Self {
+            pages,
+            totals: stats.snapshot(),
+        }
+    }
+
+    /// The pages that were ever frozen — the report field that diagnosed
+    /// the §4.2 anecdote.
+    pub fn ever_frozen(&self) -> Vec<&CpageReport> {
+        self.pages.iter().filter(|p| p.freezes > 0).collect()
+    }
+
+    /// The `n` pages with the highest fault-handler contention.
+    pub fn most_contended(&self, n: usize) -> Vec<&CpageReport> {
+        let mut v: Vec<&CpageReport> = self.pages.iter().collect();
+        v.sort_by_key(|p| std::cmp::Reverse(p.lock_wait_ns));
+        v.truncate(n);
+        v
+    }
+}
+
+impl fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>5} {:>9} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6} {:>12}",
+            "cpage", "home", "state", "copies", "faults", "repl", "migr", "frz", "thaw", "lockwait_us"
+        )?;
+        for p in &self.pages {
+            // Keep the report readable: skip untouched pages.
+            if p.faults == 0 && p.copies == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:>6} {:>5} {:>9} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6} {:>12.1}{}",
+                format!("{:?}", p.id),
+                p.home,
+                format!("{:?}", p.state),
+                p.copies,
+                p.faults,
+                p.replications,
+                p.migrations,
+                p.freezes,
+                p.thaws,
+                p.lock_wait_ns as f64 / 1000.0,
+                if p.frozen_now { "  [FROZEN]" } else { "" },
+            )?;
+        }
+        write!(f, "{}", self.totals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = KernelStats::default();
+        KernelStats::bump(&s.faults);
+        KernelStats::bump(&s.faults);
+        KernelStats::add(&s.ipis_sent, 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.faults, 2);
+        assert_eq!(snap.ipis_sent, 5);
+        assert_eq!(snap.migrations, 0);
+        let text = snap.to_string();
+        assert!(text.contains("IPIs sent"));
+    }
+
+    #[test]
+    fn report_from_table() {
+        let t = CpageTable::new();
+        let p = t.alloc(2);
+        {
+            let mut g = p.lock();
+            g.faults = 7;
+            g.freezes = 1;
+            g.lock_wait_ns = 5000;
+        }
+        let stats = KernelStats::default();
+        let r = MemoryReport::build(&t, &stats);
+        assert_eq!(r.pages.len(), 1);
+        assert_eq!(r.pages[0].faults, 7);
+        assert_eq!(r.ever_frozen().len(), 1);
+        assert_eq!(r.most_contended(5).len(), 1);
+        assert!(r.to_string().contains("cp0"));
+    }
+}

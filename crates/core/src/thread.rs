@@ -1,0 +1,132 @@
+//! The kernel's thread registry.
+//!
+//! "A thread is a kernel-scheduled thread of control. At any time it is
+//! bound to a single processor. An explicit migration operation can move
+//! it to another location. It is, however, constrained to execute within
+//! a single address space" (§1.1). Threads are globally named, like every
+//! PLATINUM abstraction.
+//!
+//! In the simulator a thread is driven by one OS thread through its
+//! [`crate::UserCtx`]; this module is the kernel-side bookkeeping: the
+//! global name, the processor binding, the address space, and the
+//! lifecycle state, all visible through [`crate::Kernel::thread_info`].
+
+use parking_lot::RwLock;
+
+use crate::ids::{AsId, ThreadId};
+
+/// A thread's lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Bound to a processor and executing (its address space is active).
+    Running,
+    /// Blocked in the kernel or explicitly suspended; not interrupted by
+    /// shootdowns (§3.1's activity optimization).
+    Suspended,
+    /// Detached from its processor; the name remains valid for queries.
+    Terminated,
+}
+
+/// A snapshot of one thread's kernel state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadInfo {
+    /// The thread's global name.
+    pub id: ThreadId,
+    /// The processor the thread is (or was last) bound to.
+    pub proc: usize,
+    /// The address space the thread executes in.
+    pub space: AsId,
+    /// Lifecycle state.
+    pub state: ThreadState,
+    /// Times the thread migrated between processors.
+    pub migrations: u32,
+}
+
+/// The registry of all threads ever created.
+pub(crate) struct ThreadTable {
+    threads: RwLock<Vec<ThreadInfo>>,
+}
+
+impl ThreadTable {
+    pub(crate) fn new() -> Self {
+        Self {
+            threads: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers a new thread bound to `proc` in `space`.
+    pub(crate) fn register(&self, proc: usize, space: AsId) -> ThreadId {
+        let mut t = self.threads.write();
+        let id = ThreadId(t.len() as u32);
+        t.push(ThreadInfo {
+            id,
+            proc,
+            space,
+            state: ThreadState::Running,
+            migrations: 0,
+        });
+        id
+    }
+
+    /// Updates a thread's state.
+    pub(crate) fn set_state(&self, id: ThreadId, state: ThreadState) {
+        if let Some(info) = self.threads.write().get_mut(id.index()) {
+            info.state = state;
+        }
+    }
+
+    /// Records a migration to `proc`.
+    pub(crate) fn set_proc(&self, id: ThreadId, proc: usize) {
+        if let Some(info) = self.threads.write().get_mut(id.index()) {
+            info.proc = proc;
+            info.migrations += 1;
+        }
+    }
+
+    /// Records an address-space switch.
+    pub(crate) fn set_space(&self, id: ThreadId, space: AsId) {
+        if let Some(info) = self.threads.write().get_mut(id.index()) {
+            info.space = space;
+        }
+    }
+
+    /// A snapshot of one thread.
+    pub(crate) fn get(&self, id: ThreadId) -> Option<ThreadInfo> {
+        self.threads.read().get(id.index()).copied()
+    }
+
+    /// Snapshots of all threads ever created.
+    pub(crate) fn all(&self) -> Vec<ThreadInfo> {
+        self.threads.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_bookkeeping() {
+        let t = ThreadTable::new();
+        let a = t.register(0, AsId(0));
+        let b = t.register(3, AsId(1));
+        assert_eq!(a, ThreadId(0));
+        assert_eq!(b, ThreadId(1));
+        assert_eq!(t.get(a).unwrap().state, ThreadState::Running);
+
+        t.set_state(a, ThreadState::Suspended);
+        assert_eq!(t.get(a).unwrap().state, ThreadState::Suspended);
+
+        t.set_proc(b, 5);
+        let info = t.get(b).unwrap();
+        assert_eq!(info.proc, 5);
+        assert_eq!(info.migrations, 1);
+
+        t.set_space(b, AsId(2));
+        assert_eq!(t.get(b).unwrap().space, AsId(2));
+
+        t.set_state(b, ThreadState::Terminated);
+        assert_eq!(t.all().len(), 2);
+        assert!(t.get(ThreadId(9)).is_none());
+    }
+}

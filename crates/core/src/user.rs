@@ -1,0 +1,457 @@
+//! The user context: a thread's view of the coherent memory abstraction.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use numa_machine::{AccessErr, AccessKind, Mem, PhysPage, ProcCore, Va, Vpn};
+
+use crate::coherent::cmap::Directive;
+use crate::error::{KernelError, Result};
+use crate::ids::ThreadId;
+use crate::kernel::Kernel;
+use crate::pmap::Pmap;
+use crate::thread::ThreadState;
+use crate::vm::space::AddressSpace;
+
+/// A kernel thread's execution context on one processor.
+///
+/// `UserCtx` implements [`Mem`], so application code written against that
+/// trait runs on PLATINUM coherent memory transparently: every access
+/// translates through the processor's ATC and private Pmap, and missing
+/// or restricted translations trap into the kernel's coherent fault
+/// handler — the mechanism of §2.1. The context also carries the thread's
+/// kernel entry points (ports, migration, explicit thaw).
+///
+/// Exactly one `UserCtx` exists per processor at a time, driven by one OS
+/// thread; it is created by [`Kernel::attach`].
+pub struct UserCtx {
+    pub(crate) kernel: Arc<Kernel>,
+    pub(crate) core: ProcCore,
+    pub(crate) space: Arc<AddressSpace>,
+    pub(crate) pmap: Pmap,
+    page_shift: u32,
+    thread: ThreadId,
+}
+
+impl UserCtx {
+    pub(crate) fn new(kernel: Arc<Kernel>, core: ProcCore, space: Arc<AddressSpace>) -> Self {
+        let page_shift = kernel.machine().cfg().page_shift;
+        let thread = kernel.threads.register(core.id(), space.id());
+        let mut ctx = Self {
+            kernel,
+            core,
+            space,
+            pmap: Pmap::new(),
+            page_shift,
+            thread,
+        };
+        ctx.activate_space();
+        ctx
+    }
+
+    /// The thread's global name (§1.1: threads are globally named).
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The kernel this context belongs to.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The address space the thread executes in.
+    pub fn space(&self) -> &Arc<AddressSpace> {
+        &self.space
+    }
+
+    /// The processor's accumulated access counters.
+    pub fn counters(&self) -> numa_machine::AccessCounters {
+        self.core.counters()
+    }
+
+    /// Direct access to the processor core (harness/instrumentation use).
+    pub fn core(&self) -> &ProcCore {
+        &self.core
+    }
+
+    // ----- Address-space activity (§3.1) ---------------------------------
+
+    /// Marks the current space active on this processor and applies any
+    /// mapping changes that arrived while it was inactive. "Each processor
+    /// is responsible for making these changes before running any thread
+    /// in that address space" (§2.3).
+    fn activate_space(&mut self) {
+        let id = self.space.id();
+        self.kernel.slots[self.core.id()].active.lock().insert(id);
+        self.drain_messages();
+        self.core.wake();
+    }
+
+    /// Marks the current space inactive (the thread is blocking in the
+    /// kernel or terminating) and acknowledges outstanding changes so no
+    /// initiator waits on a blocked processor.
+    fn deactivate_space(&mut self) {
+        let id = self.space.id();
+        self.kernel.slots[self.core.id()].active.lock().remove(&id);
+        self.drain_messages();
+        self.core.set_idle();
+    }
+
+    /// Blocks "in the kernel": deactivates, runs `wait` (which may park
+    /// the OS thread), then reactivates. Used by port receive.
+    pub(crate) fn block_in_kernel<T>(&mut self, wait: impl FnOnce() -> T) -> T {
+        self.deactivate_space();
+        let out = wait();
+        self.activate_space();
+        out
+    }
+
+    /// Suspends the thread: the address space is deactivated and the
+    /// processor marked idle, as when blocking in the kernel. While
+    /// suspended the processor is never interrupted by shootdowns —
+    /// pending mapping changes are applied on [`UserCtx::resume`]
+    /// (§3.1's activity optimization).
+    pub fn suspend(&mut self) {
+        self.deactivate_space();
+        self.kernel.threads.set_state(self.thread, ThreadState::Suspended);
+    }
+
+    /// Resumes a [`UserCtx::suspend`]ed thread, applying any mapping
+    /// changes that arrived while it was suspended.
+    pub fn resume(&mut self) {
+        self.activate_space();
+        self.kernel.threads.set_state(self.thread, ThreadState::Running);
+    }
+
+    /// Switches the thread to a different address space.
+    pub fn switch_space(&mut self, space: Arc<AddressSpace>) {
+        self.deactivate_space();
+        self.space = space;
+        self.activate_space();
+        self.kernel.threads.set_space(self.thread, self.space.id());
+    }
+
+    /// Moves the thread to another processor (the explicit thread
+    /// migration operation of §1.1). The kernel stack moves with the
+    /// thread (§2.2), charged via the cost model.
+    ///
+    /// Fails with [`KernelError::ProcessorBusy`] if a thread is already
+    /// bound there. The Pmap does *not* move: translations are a
+    /// per-processor working set, so the thread faults its pages in at
+    /// the new location.
+    pub fn migrate(&mut self, new_proc: usize) -> Result<()> {
+        if new_proc == self.core.id() {
+            return Ok(());
+        }
+        let slot = &self.kernel.slots[new_proc];
+        if slot
+            .occupied
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(KernelError::ProcessorBusy(new_proc));
+        }
+        self.deactivate_space();
+        // Release the reference bits this processor holds so shootdowns
+        // stop targeting it, and drop its private Pmap.
+        for (vpn, entry) in self.space.cmap().snapshot() {
+            if self.pmap.remove(self.space.id(), vpn).is_some() {
+                entry.clear_ref(self.core.id());
+            }
+        }
+        self.core.atc().flush_all();
+        let old = self.core.id();
+        let vtime = self.core.vtime() + self.kernel.config().costs.thread_migrate_ns;
+        self.core = ProcCore::new(Arc::clone(self.kernel.machine()), new_proc, vtime);
+        self.kernel.slots[old].occupied.store(false, Ordering::Release);
+        self.activate_space();
+        self.kernel.threads.set_proc(self.thread, new_proc);
+        Ok(())
+    }
+
+    // ----- IPI / Cmap message handling (§2.3, §3.1) -----------------------
+
+    /// The Cmap synchronization handler: applies pending mapping-change
+    /// messages for the active space to this processor's Pmap and ATC,
+    /// then acknowledges them.
+    pub(crate) fn drain_messages(&mut self) {
+        let me = self.core.id();
+        let space_id = self.space.id();
+        let msgs = self.space.cmap().pending_for(me);
+        if msgs.is_empty() {
+            return;
+        }
+        self.core.counters_mut().ipis_handled += 1;
+        let apply_ns = self.kernel.config().costs.apply_msg_ns;
+        for m in msgs {
+            match m.directive {
+                Directive::Invalidate => {
+                    if self.pmap.remove(space_id, m.vpn).is_some() {
+                        if let Some(e) = self.space.cmap().entry(m.vpn) {
+                            e.clear_ref(me);
+                        }
+                    }
+                    self.core.atc().invalidate(self.space.asid(), m.vpn);
+                }
+                Directive::InvalidateModules(mask) => {
+                    let points_into = self
+                        .pmap
+                        .lookup(space_id, m.vpn)
+                        .map(|e| mask & (1u64 << e.pp.module_id()) != 0)
+                        .unwrap_or(false);
+                    if points_into {
+                        self.pmap.remove(space_id, m.vpn);
+                        if let Some(e) = self.space.cmap().entry(m.vpn) {
+                            e.clear_ref(me);
+                        }
+                        self.core.atc().invalidate(self.space.asid(), m.vpn);
+                    }
+                }
+                Directive::RestrictToRead => {
+                    self.pmap.restrict_to_read(space_id, m.vpn);
+                    self.core.atc().restrict_to_read(self.space.asid(), m.vpn);
+                }
+            }
+            self.core.charge(apply_ns);
+            m.ack(me, self.core.vtime());
+        }
+    }
+
+    /// Kernel entry bookkeeping performed on every access: service the
+    /// IPI doorbell, keep the virtual clock published, respect the skew
+    /// window, and run the defrost daemon when its period elapses.
+    #[inline]
+    pub(crate) fn enter(&mut self) {
+        if self.core.take_ipi() {
+            self.drain_messages();
+        }
+        if self.core.tick() {
+            self.slow_tick();
+        }
+    }
+
+    #[cold]
+    fn slow_tick(&mut self) {
+        while self.core.should_throttle() {
+            if self.core.take_ipi() {
+                self.drain_messages();
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        let kernel = Arc::clone(&self.kernel);
+        kernel.maybe_defrost(self);
+    }
+
+    // ----- Translation and data access ------------------------------------
+
+    #[inline]
+    fn vpn_of(&self, va: Va) -> Vpn {
+        va >> self.page_shift
+    }
+
+    #[inline]
+    fn word_of(&self, va: Va) -> usize {
+        ((va & ((1u64 << self.page_shift) - 1)) >> 2) as usize
+    }
+
+    /// Translates `va` for the given access, faulting into the kernel as
+    /// needed. Returns the physical page.
+    #[inline]
+    fn translate(&mut self, va: Va, write: bool) -> Result<PhysPage> {
+        if va & 3 != 0 {
+            return Err(KernelError::Access(AccessErr::Misaligned(va)));
+        }
+        let vpn = self.vpn_of(va);
+        loop {
+            self.enter();
+            let asid = self.space.asid();
+            if let Some((pp, w)) = self.core.atc().lookup(asid, vpn) {
+                if !write || w {
+                    return Ok(pp);
+                }
+            } else if let Some(e) = self.pmap.lookup(self.space.id(), vpn) {
+                if !write || e.writable {
+                    self.core.atc().insert(asid, vpn, e.pp, e.writable);
+                    return Ok(e.pp);
+                }
+            }
+            let kernel = Arc::clone(&self.kernel);
+            kernel.coherent_fault(self, va, write)?;
+        }
+    }
+
+    #[inline]
+    fn translate_or_panic(&mut self, va: Va, write: bool) -> PhysPage {
+        match self.translate(va, write) {
+            Ok(pp) => pp,
+            Err(e) => panic!("unrecoverable memory access: {e}"),
+        }
+    }
+
+    /// Fallible read (kernel-style API; the [`Mem`] methods panic
+    /// instead, like a program dying on a bus error).
+    pub fn try_read(&mut self, va: Va) -> Result<u32> {
+        let pp = self.translate(va, false)?;
+        self.core.charge_word_access(pp, AccessKind::Read);
+        Ok(self.kernel.machine().frame_data(pp).load(self.word_of(va)))
+    }
+
+    /// Fallible write.
+    pub fn try_write(&mut self, va: Va, val: u32) -> Result<()> {
+        let pp = self.translate(va, true)?;
+        self.core.charge_word_access(pp, AccessKind::Write);
+        self.kernel
+            .machine()
+            .frame_data(pp)
+            .store(self.word_of(va), val);
+        Ok(())
+    }
+
+    /// Explicitly thaws the coherent page backing `va`, if frozen
+    /// (§4.2: "all new mappings to a Cpage are to that single physical
+    /// page" until the page "is explicitly thawed").
+    pub fn thaw(&mut self, va: Va) -> Result<()> {
+        let kernel = Arc::clone(&self.kernel);
+        kernel.thaw_va(self, va)
+    }
+}
+
+impl Mem for UserCtx {
+    fn proc_id(&self) -> usize {
+        self.core.id()
+    }
+
+    fn nprocs(&self) -> usize {
+        self.kernel.machine().nprocs()
+    }
+
+    fn vtime(&self) -> u64 {
+        self.core.vtime()
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        self.core.advance_to(t);
+    }
+
+    fn set_vtime(&mut self, t: u64) {
+        self.core.set_vtime(t);
+    }
+
+    fn compute(&mut self, ns: u64) {
+        self.core.charge_compute(ns);
+    }
+
+    fn read(&mut self, va: Va) -> u32 {
+        let pp = self.translate_or_panic(va, false);
+        self.core.charge_word_access(pp, AccessKind::Read);
+        self.kernel.machine().frame_data(pp).load(self.word_of(va))
+    }
+
+    fn write(&mut self, va: Va, val: u32) {
+        let pp = self.translate_or_panic(va, true);
+        self.core.charge_word_access(pp, AccessKind::Write);
+        self.kernel
+            .machine()
+            .frame_data(pp)
+            .store(self.word_of(va), val);
+    }
+
+    fn read_spin(&mut self, va: Va) -> u32 {
+        // Uncharged: spin waiting is modelled analytically by the
+        // synchronization primitives, but the access still exercises the
+        // protocol (it faults, it can freeze pages).
+        let pp = self.translate_or_panic(va, false);
+        self.kernel.machine().frame_data(pp).load(self.word_of(va))
+    }
+
+    fn fetch_add(&mut self, va: Va, delta: u32) -> u32 {
+        let pp = self.translate_or_panic(va, true);
+        self.core.charge_word_access(pp, AccessKind::Atomic);
+        self.kernel
+            .machine()
+            .frame_data(pp)
+            .fetch_add(self.word_of(va), delta)
+    }
+
+    fn compare_exchange(&mut self, va: Va, current: u32, new: u32) -> std::result::Result<u32, u32> {
+        let pp = self.translate_or_panic(va, true);
+        self.core.charge_word_access(pp, AccessKind::Atomic);
+        self.kernel
+            .machine()
+            .frame_data(pp)
+            .compare_exchange(self.word_of(va), current, new)
+    }
+
+    fn swap(&mut self, va: Va, val: u32) -> u32 {
+        let pp = self.translate_or_panic(va, true);
+        self.core.charge_word_access(pp, AccessKind::Atomic);
+        self.kernel
+            .machine()
+            .frame_data(pp)
+            .swap(self.word_of(va), val)
+    }
+
+    fn poll(&mut self) {
+        self.enter();
+    }
+
+    fn begin_wait(&mut self) {
+        self.core.begin_wait();
+    }
+
+    fn end_wait(&mut self) {
+        self.core.end_wait();
+    }
+
+    fn read_block(&mut self, va: Va, dst: &mut [u32]) {
+        // Translate once per page, then stream the words with batched
+        // charging — a software copy loop with the per-page fault cost
+        // paid once, like the real machine.
+        let words_per_page = 1usize << (self.page_shift - 2);
+        let mut done = 0usize;
+        while done < dst.len() {
+            let addr = va + 4 * done as u64;
+            let pp = self.translate_or_panic(addr, false);
+            let word0 = self.word_of(addr);
+            let n = (words_per_page - word0).min(dst.len() - done);
+            self.core
+                .charge_word_block(pp, AccessKind::Read, n as u64);
+            self.kernel
+                .machine()
+                .frame_data(pp)
+                .load_slice(word0, &mut dst[done..done + n]);
+            done += n;
+        }
+    }
+
+    fn write_block(&mut self, va: Va, src: &[u32]) {
+        let words_per_page = 1usize << (self.page_shift - 2);
+        let mut done = 0usize;
+        while done < src.len() {
+            let addr = va + 4 * done as u64;
+            let pp = self.translate_or_panic(addr, true);
+            let word0 = self.word_of(addr);
+            let n = (words_per_page - word0).min(src.len() - done);
+            self.core
+                .charge_word_block(pp, AccessKind::Write, n as u64);
+            self.kernel
+                .machine()
+                .frame_data(pp)
+                .store_slice(word0, &src[done..done + n]);
+            done += n;
+        }
+    }
+}
+
+impl Drop for UserCtx {
+    fn drop(&mut self) {
+        self.deactivate_space();
+        self.kernel
+            .threads
+            .set_state(self.thread, ThreadState::Terminated);
+        self.kernel.slots[self.core.id()]
+            .occupied
+            .store(false, Ordering::Release);
+    }
+}

@@ -1,0 +1,198 @@
+//! The per-processor address translation cache (ATC).
+
+use crate::addr::{PhysPage, Vpn};
+
+/// One cached translation.
+#[derive(Clone, Copy, Debug)]
+struct AtcEntry {
+    valid: bool,
+    asid: u32,
+    vpn: Vpn,
+    pp: PhysPage,
+    writable: bool,
+}
+
+const INVALID: AtcEntry = AtcEntry {
+    valid: false,
+    asid: 0,
+    vpn: 0,
+    pp: PhysPage { module: 0, frame: 0 },
+    writable: false,
+};
+
+/// A direct-mapped software model of the MC68851's address translation
+/// cache.
+///
+/// Each processor owns exactly one `Atc`, and only code running on that
+/// processor's thread touches it — shootdown targets invalidate their own
+/// ATC from the Cmap synchronization handler, never another processor's
+/// (§3.1: address translation caches "are usually private to the processor
+/// to which the MMU is attached").
+///
+/// Entries are tagged by (address-space id, virtual page number). A hit
+/// costs nothing extra in the timing model (translation overlaps the
+/// access, as in the real MMU); misses are refilled from the per-processor
+/// Pmap by the kernel, which charges the walk.
+pub struct Atc {
+    entries: Box<[AtcEntry]>,
+    mask: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Atc {
+    /// Creates an ATC with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "ATC size must be a nonzero power of two"
+        );
+        Self {
+            entries: vec![INVALID; entries].into_boxed_slice(),
+            mask: entries - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, asid: u32, vpn: Vpn) -> usize {
+        ((vpn as usize) ^ ((asid as usize) << 3)) & self.mask
+    }
+
+    /// Looks up the translation for (`asid`, `vpn`).
+    ///
+    /// Returns the physical page and whether the cached entry permits
+    /// writes. A miss returns `None`; the caller refills from the Pmap.
+    #[inline]
+    pub fn lookup(&mut self, asid: u32, vpn: Vpn) -> Option<(PhysPage, bool)> {
+        let e = &self.entries[self.slot(asid, vpn)];
+        if e.valid && e.asid == asid && e.vpn == vpn {
+            self.hits += 1;
+            Some((e.pp, e.writable))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Installs a translation, evicting whatever shared its slot.
+    pub fn insert(&mut self, asid: u32, vpn: Vpn, pp: PhysPage, writable: bool) {
+        let slot = self.slot(asid, vpn);
+        self.entries[slot] = AtcEntry {
+            valid: true,
+            asid,
+            vpn,
+            pp,
+            writable,
+        };
+    }
+
+    /// Invalidates the translation for (`asid`, `vpn`) if cached.
+    pub fn invalidate(&mut self, asid: u32, vpn: Vpn) {
+        let slot = self.slot(asid, vpn);
+        let e = &mut self.entries[slot];
+        if e.valid && e.asid == asid && e.vpn == vpn {
+            e.valid = false;
+        }
+    }
+
+    /// Downgrades the cached translation for (`asid`, `vpn`) to read-only
+    /// if cached (the shootdown "restrict access rights" directive, §2.3).
+    pub fn restrict_to_read(&mut self, asid: u32, vpn: Vpn) {
+        let slot = self.slot(asid, vpn);
+        let e = &mut self.entries[slot];
+        if e.valid && e.asid == asid && e.vpn == vpn {
+            e.writable = false;
+        }
+    }
+
+    /// Invalidates every translation belonging to `asid` (address-space
+    /// teardown).
+    pub fn flush_asid(&mut self, asid: u32) {
+        for e in self.entries.iter_mut() {
+            if e.valid && e.asid == asid {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Invalidates the entire cache.
+    pub fn flush_all(&mut self) {
+        for e in self.entries.iter_mut() {
+            e.valid = false;
+        }
+    }
+
+    /// (hits, misses) counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut atc = Atc::new(8);
+        assert_eq!(atc.lookup(1, 100), None);
+        atc.insert(1, 100, PhysPage::new(2, 5), false);
+        assert_eq!(atc.lookup(1, 100), Some((PhysPage::new(2, 5), false)));
+        let (h, m) = atc.stats();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn distinguishes_address_spaces() {
+        let mut atc = Atc::new(8);
+        atc.insert(1, 100, PhysPage::new(0, 1), true);
+        // Same vpn, different asid must miss (and not alias).
+        assert_eq!(atc.lookup(2, 100), None);
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut atc = Atc::new(8);
+        // vpn 0 and vpn 8 share slot 0 in an 8-entry direct-mapped cache.
+        atc.insert(1, 0, PhysPage::new(0, 0), false);
+        atc.insert(1, 8, PhysPage::new(0, 1), false);
+        assert_eq!(atc.lookup(1, 0), None, "conflicting entry must evict");
+        assert!(atc.lookup(1, 8).is_some());
+    }
+
+    #[test]
+    fn invalidate_and_restrict() {
+        let mut atc = Atc::new(8);
+        atc.insert(1, 7, PhysPage::new(3, 3), true);
+        atc.restrict_to_read(1, 7);
+        assert_eq!(atc.lookup(1, 7), Some((PhysPage::new(3, 3), false)));
+        atc.invalidate(1, 7);
+        assert_eq!(atc.lookup(1, 7), None);
+        // Invalidating a non-resident entry is a no-op.
+        atc.invalidate(1, 7);
+    }
+
+    #[test]
+    fn flushes() {
+        let mut atc = Atc::new(8);
+        atc.insert(1, 1, PhysPage::new(0, 0), false);
+        atc.insert(2, 2, PhysPage::new(0, 1), false);
+        atc.flush_asid(1);
+        assert_eq!(atc.lookup(1, 1), None);
+        assert!(atc.lookup(2, 2).is_some());
+        atc.flush_all();
+        assert_eq!(atc.lookup(2, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        let _ = Atc::new(12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Machine and timing configuration.
+
+/// Latency and occupancy parameters of the simulated machine.
+///
+/// Defaults are the figures the paper publishes for the 16-processor BBN
+/// Butterfly Plus (§4, §4.1): a local 32-bit reference costs about 320 ns,
+/// a remote read about 5000 ns ("write operations are faster"), and the
+/// block-transfer engine moves one word in about 1100 ns while consuming
+/// 75% of the local memory bus bandwidth on both nodes involved (§7).
+#[derive(Clone, Debug)]
+pub struct TimingConfig {
+    /// Latency of a local 32-bit read, in nanoseconds.
+    pub local_read_ns: u64,
+    /// Latency of a local 32-bit write, in nanoseconds.
+    pub local_write_ns: u64,
+    /// Latency of a remote 32-bit read through the switch, in nanoseconds.
+    pub remote_read_ns: u64,
+    /// Latency of a remote 32-bit write, in nanoseconds. The paper notes
+    /// writes are faster than the 5000 ns remote read because the requester
+    /// need not wait for the reply data.
+    pub remote_write_ns: u64,
+    /// Latency of a local atomic read-modify-write.
+    pub local_atomic_ns: u64,
+    /// Latency of a remote atomic read-modify-write (the Butterfly's
+    /// remote atomic 32-bit operations).
+    pub remote_atomic_ns: u64,
+    /// Time for the block-transfer engine to move one 32-bit word.
+    pub block_word_ns: u64,
+    /// Percentage (0-100) of each involved node's memory-bus bandwidth
+    /// consumed by a block transfer (§7: 75% on both nodes).
+    pub block_bus_fraction_pct: u64,
+    /// Memory-module occupancy per local access (service time for the
+    /// contention model).
+    pub module_service_local_ns: u64,
+    /// Memory-module occupancy per remote access.
+    pub module_service_remote_ns: u64,
+    /// Cost to deliver an interprocessor interrupt to one target and have
+    /// it run the Cmap synchronization handler. The paper deduces roughly
+    /// 7 us per interrupted processor (§4).
+    pub ipi_ns: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self {
+            local_read_ns: 320,
+            local_write_ns: 320,
+            remote_read_ns: 5000,
+            remote_write_ns: 2500,
+            local_atomic_ns: 640,
+            remote_atomic_ns: 6000,
+            block_word_ns: 1100,
+            block_bus_fraction_pct: 75,
+            module_service_local_ns: 320,
+            module_service_remote_ns: 600,
+            ipi_ns: 7000,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// Latency of one word access of the given locality and kind.
+    pub fn word_latency(&self, local: bool, kind: crate::proc::AccessKind) -> u64 {
+        use crate::proc::AccessKind;
+        match (local, kind) {
+            (true, AccessKind::Read) => self.local_read_ns,
+            (true, AccessKind::Write) => self.local_write_ns,
+            (true, AccessKind::Atomic) => self.local_atomic_ns,
+            (false, AccessKind::Read) => self.remote_read_ns,
+            (false, AccessKind::Write) => self.remote_write_ns,
+            (false, AccessKind::Atomic) => self.remote_atomic_ns,
+        }
+    }
+
+    /// Memory-module occupancy of one access of the given locality.
+    pub fn service_time(&self, local: bool) -> u64 {
+        if local {
+            self.module_service_local_ns
+        } else {
+            self.module_service_remote_ns
+        }
+    }
+}
+
+/// Configuration of the simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of nodes; each node has one processor and one memory module,
+    /// as on the Butterfly Plus. At most 64.
+    pub nodes: usize,
+    /// Number of page frames per memory module. The Butterfly Plus node
+    /// had 4 MB; with 4 KB pages that is 1024 frames.
+    pub frames_per_node: usize,
+    /// log2 of the page size in bytes (default 12, i.e. 4 KB, the paper's
+    /// default page size).
+    pub page_shift: u32,
+    /// Number of entries in each processor's address translation cache.
+    /// The MC68851's on-chip ATC held 64 entries.
+    pub atc_entries: usize,
+    /// Latency and occupancy parameters.
+    pub timing: TimingConfig,
+    /// If set, conservative virtual-time coupling: a processor whose clock
+    /// runs more than this many nanoseconds ahead of the slowest running
+    /// processor stalls until the others catch up. Keeps the replication
+    /// policy's timestamps meaningful across processors.
+    pub skew_window_ns: Option<u64>,
+    /// Number of accesses between publications of a processor's virtual
+    /// clock (used by the skew window and by observers).
+    pub publish_interval: u32,
+    /// Width of the contention model's utilization buckets, ns. Should
+    /// comfortably exceed typical access latencies and sit well below the
+    /// skew window.
+    pub contention_bucket_ns: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 16,
+            frames_per_node: 1024,
+            page_shift: 12,
+            atc_entries: 64,
+            timing: TimingConfig::default(),
+            skew_window_ns: Some(2_000_000),
+            publish_interval: 64,
+            contention_bucket_ns: 100_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A machine with the given number of nodes and defaults otherwise.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+
+    /// The page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        1u64 << self.page_shift
+    }
+
+    /// The page size in 32-bit words.
+    pub fn words_per_page(&self) -> usize {
+        (self.page_bytes() / 4) as usize
+    }
+
+    /// Validates the configuration.
+    ///
+    /// Returns a description of the first problem found, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 || self.nodes > 64 {
+            return Err(format!("nodes must be 1..=64, got {}", self.nodes));
+        }
+        if self.page_shift < 4 || self.page_shift > 20 {
+            return Err(format!(
+                "page_shift must be 4..=20, got {}",
+                self.page_shift
+            ));
+        }
+        if self.frames_per_node == 0 {
+            return Err("frames_per_node must be nonzero".to_string());
+        }
+        if !self.atc_entries.is_power_of_two() {
+            return Err(format!(
+                "atc_entries must be a power of two, got {}",
+                self.atc_entries
+            ));
+        }
+        if self.timing.block_bus_fraction_pct > 100 {
+            return Err("block_bus_fraction_pct must be <= 100".to_string());
+        }
+        if self.contention_bucket_ns == 0 {
+            return Err("contention_bucket_ns must be nonzero".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::AccessKind;
+
+    #[test]
+    fn paper_defaults() {
+        let t = TimingConfig::default();
+        assert_eq!(t.local_read_ns, 320);
+        assert_eq!(t.remote_read_ns, 5000);
+        assert_eq!(t.block_word_ns, 1100);
+        assert_eq!(t.block_bus_fraction_pct, 75);
+        let c = MachineConfig::default();
+        assert_eq!(c.page_bytes(), 4096);
+        assert_eq!(c.words_per_page(), 1024);
+        assert_eq!(c.nodes, 16);
+        c.validate().expect("default config must validate");
+    }
+
+    #[test]
+    fn latency_table() {
+        let t = TimingConfig::default();
+        assert_eq!(t.word_latency(true, AccessKind::Read), 320);
+        assert_eq!(t.word_latency(false, AccessKind::Read), 5000);
+        assert_eq!(t.word_latency(false, AccessKind::Write), 2500);
+        assert_eq!(t.word_latency(false, AccessKind::Atomic), 6000);
+        assert!(t.service_time(true) < t.service_time(false));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = MachineConfig {
+            nodes: 0,
+            ..MachineConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.nodes = 65;
+        assert!(c.validate().is_err());
+        c.nodes = 16;
+        c.atc_entries = 48;
+        assert!(c.validate().is_err());
+        c.atc_entries = 64;
+        c.page_shift = 2;
+        assert!(c.validate().is_err());
+        c.page_shift = 12;
+        c.frames_per_node = 0;
+        assert!(c.validate().is_err());
+        c.frames_per_node = 8;
+        c.timing.block_bus_fraction_pct = 150;
+        assert!(c.validate().is_err());
+    }
+}

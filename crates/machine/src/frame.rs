@@ -1,0 +1,203 @@
+//! Physical page frames backed by real word-granular storage.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A physical page frame: a page worth of real 32-bit words.
+///
+/// Frames store real data so that replicas made by the coherent-memory
+/// protocol are genuine copies — a protocol bug that lets two replicas
+/// diverge produces a wrong application answer rather than just a wrong
+/// statistic.
+///
+/// Words are `AtomicU32` so that the *frozen page* path of the protocol —
+/// multiple processors doing fine-grain interleaved accesses to a single
+/// physical copy, as the Butterfly's remote memory operations allowed — is
+/// well-defined under real threading. Plain program loads and stores use
+/// `Relaxed` atomics (which compile to ordinary moves); the Butterfly's
+/// atomic remote operations use stronger orderings.
+pub struct Frame {
+    words: Box<[AtomicU32]>,
+}
+
+impl Frame {
+    /// Allocates a zeroed frame of `words` 32-bit words.
+    pub fn new(words: usize) -> Self {
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU32::new(0));
+        Self {
+            words: v.into_boxed_slice(),
+        }
+    }
+
+    /// The number of words in the frame.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the frame has zero words (never true for machine frames).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `idx` (an ordinary program load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range; the caller translates and
+    /// bounds-checks addresses before touching the frame.
+    #[inline]
+    pub fn load(&self, idx: usize) -> u32 {
+        self.words[idx].load(Ordering::Relaxed)
+    }
+
+    /// Writes the word at `idx` (an ordinary program store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn store(&self, idx: usize, val: u32) {
+        self.words[idx].store(val, Ordering::Relaxed);
+    }
+
+    /// Atomic fetch-and-add on the word at `idx`, modelling the
+    /// Butterfly's remote atomic operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn fetch_add(&self, idx: usize, delta: u32) -> u32 {
+        self.words[idx].fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Atomic compare-and-exchange on the word at `idx`.
+    ///
+    /// Returns `Ok(previous)` when the exchange happened, `Err(actual)`
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn compare_exchange(&self, idx: usize, current: u32, new: u32) -> Result<u32, u32> {
+        self.words[idx].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Atomic swap of the word at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn swap(&self, idx: usize, val: u32) -> u32 {
+        self.words[idx].swap(val, Ordering::AcqRel)
+    }
+
+    /// Copies the entire contents of `src` into this frame, word by word,
+    /// as the block-transfer engine does during replication/migration.
+    ///
+    /// The coherency protocol guarantees no writer exists while a page is
+    /// copied (all write mappings are restricted first), so the relaxed
+    /// per-word copy is race-free in a correct kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different lengths.
+    pub fn copy_from(&self, src: &Frame) {
+        assert_eq!(self.len(), src.len(), "block transfer between unequal frames");
+        for i in 0..self.words.len() {
+            self.words[i].store(src.words[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// Zero-fills the frame (page allocation of a fresh coherent page).
+    pub fn zero(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies `src` into the frame starting at word `idx` (used by the
+    /// kernel's port message transfer and by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn store_slice(&self, idx: usize, src: &[u32]) {
+        assert!(idx + src.len() <= self.len(), "store_slice out of bounds");
+        for (i, &w) in src.iter().enumerate() {
+            self.words[idx + i].store(w, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads `dst.len()` words starting at word `idx` into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn load_slice(&self, idx: usize, dst: &mut [u32]) {
+        assert!(idx + dst.len() <= self.len(), "load_slice out of bounds");
+        for (i, w) in dst.iter_mut().enumerate() {
+            *w = self.words[idx + i].load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let f = Frame::new(16);
+        assert_eq!(f.len(), 16);
+        assert!(!f.is_empty());
+        f.store(3, 0xdead_beef);
+        assert_eq!(f.load(3), 0xdead_beef);
+        assert_eq!(f.load(4), 0);
+    }
+
+    #[test]
+    fn atomics() {
+        let f = Frame::new(4);
+        assert_eq!(f.fetch_add(0, 5), 0);
+        assert_eq!(f.fetch_add(0, 5), 5);
+        assert_eq!(f.load(0), 10);
+        assert_eq!(f.compare_exchange(0, 10, 11), Ok(10));
+        assert_eq!(f.compare_exchange(0, 10, 12), Err(11));
+        assert_eq!(f.swap(0, 99), 11);
+    }
+
+    #[test]
+    fn block_copy_and_zero() {
+        let a = Frame::new(8);
+        let b = Frame::new(8);
+        for i in 0..8 {
+            a.store(i, i as u32 * 7);
+        }
+        b.copy_from(&a);
+        for i in 0..8 {
+            assert_eq!(b.load(i), i as u32 * 7);
+        }
+        b.zero();
+        for i in 0..8 {
+            assert_eq!(b.load(i), 0);
+        }
+    }
+
+    #[test]
+    fn slices() {
+        let f = Frame::new(8);
+        f.store_slice(2, &[1, 2, 3]);
+        let mut out = [0u32; 3];
+        f.load_slice(2, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal frames")]
+    fn copy_between_unequal_frames_panics() {
+        Frame::new(4).copy_from(&Frame::new(8));
+    }
+}

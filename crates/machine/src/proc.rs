@@ -1,0 +1,498 @@
+//! Simulated processors: shared signalling state and the thread-owned core.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::addr::{PhysPage, ProcId};
+use crate::atc::Atc;
+use crate::machine::Machine;
+use crate::stats::AccessCounters;
+
+/// A processor's virtual clock value meaning "not currently running" —
+/// idle processors are excluded from the skew window's minimum.
+pub const IDLE: u64 = u64::MAX;
+
+/// The kind of a single-word memory access, for the timing model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A 32-bit load.
+    Read,
+    /// A 32-bit store.
+    Write,
+    /// An atomic read-modify-write (the Butterfly's remote atomics).
+    Atomic,
+}
+
+/// Per-processor state that *other* processors may touch: the
+/// interprocessor-interrupt doorbell and the published virtual clock.
+///
+/// Everything else about a processor lives in [`ProcCore`], which is owned
+/// by the thread simulating that processor — mirroring the paper's
+/// insistence on private per-processor structures (§3.1).
+pub struct ProcShared {
+    /// Doorbell set by `Machine::post_ipi`; cleared by the owning thread.
+    ipi_pending: AtomicBool,
+    /// The processor's virtual clock as of its last publication, or
+    /// [`IDLE`] while the processor is blocked or not started.
+    published_vtime: AtomicU64,
+}
+
+impl ProcShared {
+    pub(crate) fn new() -> Self {
+        Self {
+            ipi_pending: AtomicBool::new(false),
+            published_vtime: AtomicU64::new(IDLE),
+        }
+    }
+
+    /// Rings the processor's IPI doorbell.
+    pub fn post_ipi(&self) {
+        self.ipi_pending.store(true, Ordering::Release);
+    }
+
+    /// Whether an IPI is pending (without consuming it).
+    #[inline]
+    pub fn ipi_pending(&self) -> bool {
+        self.ipi_pending.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the doorbell, returning whether it was rung.
+    #[inline]
+    pub fn take_ipi(&self) -> bool {
+        // Fast path: a relaxed read avoids the RMW when no IPI is pending.
+        self.ipi_pending.load(Ordering::Relaxed) && self.ipi_pending.swap(false, Ordering::Acquire)
+    }
+
+    /// The last published virtual clock, or [`IDLE`].
+    pub fn published_vtime(&self) -> u64 {
+        self.published_vtime.load(Ordering::Relaxed)
+    }
+
+    fn publish(&self, vtime: u64) {
+        self.published_vtime.store(vtime, Ordering::Relaxed);
+    }
+}
+
+/// The thread-owned core of one simulated processor.
+///
+/// Exactly one OS thread drives each `ProcCore`; it holds the processor's
+/// virtual clock, its private [`Atc`], and its access counters. All timing
+/// charges go through here.
+pub struct ProcCore {
+    machine: Arc<Machine>,
+    id: ProcId,
+    vtime: u64,
+    atc: Atc,
+    counters: AccessCounters,
+    accesses_since_publish: u32,
+    /// Whether the processor is spin-waiting in a synchronization
+    /// primitive; waiting processors publish [`IDLE`] so the skew window
+    /// never throttles working processors against a frozen clock.
+    waiting: bool,
+}
+
+impl ProcCore {
+    /// Creates the core for processor `id` and marks it running at
+    /// virtual time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid processor of `machine`.
+    pub fn new(machine: Arc<Machine>, id: ProcId, start: u64) -> Self {
+        assert!(id < machine.nprocs(), "processor {id} out of range");
+        let atc = Atc::new(machine.cfg().atc_entries);
+        machine.shared(id).publish(start);
+        Self {
+            machine,
+            id,
+            vtime: start,
+            atc,
+            counters: AccessCounters::default(),
+            accesses_since_publish: 0,
+            waiting: false,
+        }
+    }
+
+    /// The processor id (also the node id of its local memory module).
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The machine this processor belongs to.
+    #[inline]
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The processor's private address translation cache.
+    #[inline]
+    pub fn atc(&mut self) -> &mut Atc {
+        &mut self.atc
+    }
+
+    /// The current virtual time, in nanoseconds.
+    #[inline]
+    pub fn vtime(&self) -> u64 {
+        self.vtime
+    }
+
+    /// Advances the virtual clock by `ns` (modelled computation).
+    #[inline]
+    pub fn charge(&mut self, ns: u64) {
+        self.vtime += ns;
+    }
+
+    /// Advances the virtual clock by `ns` of computation, counting it.
+    #[inline]
+    pub fn charge_compute(&mut self, ns: u64) {
+        self.vtime += ns;
+        self.counters.compute_ns += ns;
+    }
+
+    /// Moves the clock forward to at least `t` (virtual-time propagation
+    /// through synchronization: an acquirer cannot proceed before the
+    /// releaser released).
+    #[inline]
+    pub fn advance_to(&mut self, t: u64) {
+        if t > self.vtime {
+            self.vtime = t;
+        }
+    }
+
+    /// Overwrites the clock. Reserved for the run-time synchronization
+    /// primitives, which model waiting time analytically instead of
+    /// charging each spin iteration.
+    pub fn set_vtime(&mut self, t: u64) {
+        self.vtime = t;
+    }
+
+    /// The processor's access counters so far.
+    pub fn counters(&self) -> AccessCounters {
+        let mut c = self.counters.clone();
+        let (h, m) = self.atc.stats();
+        c.atc_hits = h;
+        c.atc_misses = m;
+        c
+    }
+
+    /// Mutable access to the counters, for the kernel to record faults.
+    pub fn counters_mut(&mut self) -> &mut AccessCounters {
+        &mut self.counters
+    }
+
+    /// Whether this processor's IPI doorbell is rung, consuming it.
+    #[inline]
+    pub fn take_ipi(&self) -> bool {
+        self.machine.shared(self.id).take_ipi()
+    }
+
+    /// Publishes the clock and reports whether the skew window requires
+    /// this processor to stall.
+    ///
+    /// The caller (the kernel's access wrapper) is responsible for polling
+    /// IPIs while stalled; this method never blocks. A processor that is
+    /// spin-waiting ([`ProcCore::begin_wait`]) publishes [`IDLE`] and is
+    /// never throttled: its clock is frozen until the event it waits for
+    /// arrives, and throttling workers against a frozen clock would
+    /// deadlock the machine.
+    pub fn should_throttle(&mut self) -> bool {
+        let Some(window) = self.machine.cfg().skew_window_ns else {
+            return false;
+        };
+        if self.waiting {
+            self.machine.shared(self.id).publish(IDLE);
+            return false;
+        }
+        self.machine.shared(self.id).publish(self.vtime);
+        let min = self.machine.min_running_vtime();
+        min != IDLE && self.vtime > min.saturating_add(window)
+    }
+
+    /// Enters spin-wait mode: the processor stops holding the skew-window
+    /// minimum down (it still services IPIs through its accesses).
+    pub fn begin_wait(&mut self) {
+        self.waiting = true;
+        self.machine.shared(self.id).publish(IDLE);
+    }
+
+    /// Leaves spin-wait mode.
+    pub fn end_wait(&mut self) {
+        self.waiting = false;
+        let v = self.vtime;
+        self.machine.shared(self.id).publish(v);
+    }
+
+    /// Periodic publication bookkeeping; returns true every
+    /// `publish_interval` accesses so the caller can run the (slightly
+    /// more expensive) throttle check.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        self.accesses_since_publish += 1;
+        if self.accesses_since_publish >= self.machine.cfg().publish_interval {
+            self.accesses_since_publish = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks the processor idle (blocked in the kernel or finished); idle
+    /// processors do not hold back the skew window.
+    pub fn set_idle(&self) {
+        self.machine.shared(self.id).publish(IDLE);
+    }
+
+    /// Marks the processor running again after [`Self::set_idle`].
+    pub fn wake(&mut self) {
+        let v = self.vtime;
+        self.machine.shared(self.id).publish(v);
+    }
+
+    /// Charges one word access to the memory holding `pp` and performs the
+    /// module reservation for the contention model. Returns nothing; the
+    /// caller performs the actual data movement on the frame.
+    pub fn charge_word_access(&mut self, pp: PhysPage, kind: AccessKind) {
+        let local = pp.module_id() == self.id;
+        let t = &self.machine.cfg().timing;
+        let latency = t.word_latency(local, kind);
+        let service = t.service_time(local);
+        let module = self.machine.module(pp.module_id());
+        let start = module.reserve(self.vtime, service);
+        let queue_delay = start - self.vtime;
+        self.vtime = start + latency;
+        self.counters.queue_delay_ns += queue_delay;
+        match (local, kind) {
+            (true, AccessKind::Read) => self.counters.local_reads += 1,
+            (true, AccessKind::Write) => self.counters.local_writes += 1,
+            (true, AccessKind::Atomic) => self.counters.local_atomics += 1,
+            (false, AccessKind::Read) => self.counters.remote_reads += 1,
+            (false, AccessKind::Write) => self.counters.remote_writes += 1,
+            (false, AccessKind::Atomic) => self.counters.remote_atomics += 1,
+        }
+    }
+
+    /// Charges `n` consecutive word accesses to the module holding `pp`,
+    /// for software block copies (`read_block` and friends). Latency is
+    /// per word — a software loop on the Butterfly pays full latency per
+    /// reference — and the module service is booked across the virtual
+    /// time the stream actually spans, one contention bucket at a time,
+    /// so a self-paced stream never queues behind itself.
+    pub fn charge_word_block(&mut self, pp: PhysPage, kind: AccessKind, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let local = pp.module_id() == self.id;
+        let t = &self.machine.cfg().timing;
+        let latency = t.word_latency(local, kind);
+        let service = t.service_time(local);
+        let bucket_ns = self.machine.cfg().contention_bucket_ns;
+        let module = self.machine.module(pp.module_id());
+        let mut remaining = n;
+        let mut queue_delay = 0u64;
+        while remaining > 0 {
+            // Book only the accesses that fall inside the clock's current
+            // contention bucket, so a self-paced stream never re-books a
+            // bucket it has already filled.
+            let into = self.vtime % bucket_ns;
+            let room = (bucket_ns - into).div_ceil(latency.max(1)).max(1);
+            let chunk = remaining.min(room);
+            let start = module.reserve(self.vtime, service * chunk);
+            queue_delay += start - self.vtime;
+            self.vtime = start + latency * chunk;
+            remaining -= chunk;
+        }
+        self.counters.queue_delay_ns += queue_delay;
+        match (local, kind) {
+            (true, AccessKind::Read) => self.counters.local_reads += n,
+            (true, AccessKind::Write) => self.counters.local_writes += n,
+            (true, AccessKind::Atomic) => self.counters.local_atomics += n,
+            (false, AccessKind::Read) => self.counters.remote_reads += n,
+            (false, AccessKind::Write) => self.counters.remote_writes += n,
+            (false, AccessKind::Atomic) => self.counters.remote_atomics += n,
+        }
+    }
+
+    /// Charges a kernel data-structure reference homed on `module`.
+    ///
+    /// The paper's fault-handler timings differ by ~40 us depending on
+    /// whether "the relevant kernel data structures are local" (§4); the
+    /// kernel calls this for each modelled structure touch.
+    pub fn charge_kernel_ref(&mut self, module: usize, kind: AccessKind) {
+        self.charge_word_access(PhysPage::new(module, 0), kind);
+    }
+
+    /// Performs a page-sized block transfer from `src` to `dst`: copies
+    /// the data and charges the block-transfer engine's timing, occupying
+    /// 75% (configurable) of both modules' bus bandwidth for the duration
+    /// (§7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` name the same frame.
+    pub fn block_transfer(&mut self, src: PhysPage, dst: PhysPage) {
+        assert_ne!(src, dst, "block transfer onto itself");
+        let words = self.machine.cfg().words_per_page() as u64;
+        let t = &self.machine.cfg().timing;
+        let duration = words * t.block_word_ns;
+        let bus_occupancy = duration * t.block_bus_fraction_pct / 100;
+
+        let src_mod = self.machine.module(src.module_id());
+        let dst_mod = self.machine.module(dst.module_id());
+        // The engine starts when both modules' engines are free and the
+        // initiator is ready; the serialization horizon is capped so
+        // loosely-coupled clocks cannot queue behind far-future
+        // reservations (see `MemoryModule::reserve_block`).
+        let cap = 4 * duration;
+        let s1 = src_mod.reserve_block(self.vtime, bus_occupancy, cap);
+        let ready = if src.module_id() != dst.module_id() {
+            dst_mod.reserve_block(s1, bus_occupancy, cap)
+        } else {
+            s1
+        };
+        self.counters.queue_delay_ns += ready - self.vtime;
+        self.vtime = ready + duration;
+        self.counters.block_transfers += 1;
+        self.counters.block_words += words;
+
+        let src_frame = self.machine.frame_data(src);
+        let dst_frame = self.machine.frame_data(dst);
+        dst_frame.copy_from(src_frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn machine(nodes: usize) -> Arc<Machine> {
+        Machine::new(MachineConfig {
+            nodes,
+            frames_per_node: 16,
+            skew_window_ns: None,
+            ..MachineConfig::default()
+        })
+        .expect("valid config")
+    }
+
+    #[test]
+    fn local_vs_remote_charging() {
+        let m = machine(2);
+        let mut core = ProcCore::new(Arc::clone(&m), 0, 0);
+        core.charge_word_access(PhysPage::new(0, 0), AccessKind::Read);
+        assert_eq!(core.vtime(), 320);
+        core.charge_word_access(PhysPage::new(1, 0), AccessKind::Read);
+        assert_eq!(core.vtime(), 320 + 5000);
+        let c = core.counters();
+        assert_eq!(c.local_reads, 1);
+        assert_eq!(c.remote_reads, 1);
+    }
+
+    #[test]
+    fn contention_queues_at_module() {
+        // Fifteen remote processors hammer node 0's module: each demands
+        // 600 ns of service per 5000 ns of latency (12%), so fifteen of
+        // them (180%) overload the module and someone must queue.
+        let m = machine(16);
+        let mut cores: Vec<ProcCore> = (1..16)
+            .map(|p| ProcCore::new(Arc::clone(&m), p, 0))
+            .collect();
+        for _ in 0..200 {
+            for c in cores.iter_mut() {
+                c.charge_word_access(PhysPage::new(0, 0), AccessKind::Read);
+            }
+        }
+        let total: u64 = cores.iter().map(|c| c.counters().queue_delay_ns).sum();
+        assert!(total > 100_000, "sustained overload must queue: {total}");
+    }
+
+    #[test]
+    fn block_transfer_copies_and_charges() {
+        let m = machine(2);
+        let mut core = ProcCore::new(Arc::clone(&m), 0, 0);
+        let src = PhysPage::new(0, 0);
+        let dst = PhysPage::new(1, 0);
+        m.frame_data(src).store(17, 0xabcd);
+        core.block_transfer(src, dst);
+        assert_eq!(m.frame_data(dst).load(17), 0xabcd);
+        // 1024 words at 1100 ns each = 1.1264 ms, the paper's ~1.11 ms
+        // for a 4 KB page.
+        assert_eq!(core.vtime(), 1024 * 1100);
+        assert_eq!(core.counters().block_words, 1024);
+        // The modules' buses were occupied: word traffic during the
+        // transfer queues.
+        let mut other = ProcCore::new(Arc::clone(&m), 1, 100_000);
+        other.charge_word_access(PhysPage::new(0, 0), AccessKind::Read);
+        assert!(
+            other.counters().queue_delay_ns > 0,
+            "word access during a block transfer must queue"
+        );
+    }
+
+    #[test]
+    fn block_transfers_from_same_source_serialize() {
+        let m = machine(3);
+        let mut a = ProcCore::new(Arc::clone(&m), 1, 0);
+        let mut b = ProcCore::new(Arc::clone(&m), 2, 0);
+        a.block_transfer(PhysPage::new(0, 0), PhysPage::new(1, 0));
+        b.block_transfer(PhysPage::new(0, 1), PhysPage::new(2, 0));
+        // b's transfer could not start until a's released the source
+        // engine: this is the hardware serialization the paper blames for
+        // pivot-row contention in Gaussian elimination (§5.1).
+        let occupancy = 1024 * 1100 * 75 / 100;
+        assert_eq!(b.counters().queue_delay_ns, occupancy);
+    }
+
+    #[test]
+    fn ipi_doorbell() {
+        let m = machine(2);
+        let core = ProcCore::new(Arc::clone(&m), 0, 0);
+        assert!(!core.take_ipi());
+        m.post_ipi(0);
+        assert!(core.take_ipi());
+        assert!(!core.take_ipi(), "doorbell is consumed");
+    }
+
+    #[test]
+    fn vtime_propagation() {
+        let m = machine(1);
+        let mut core = ProcCore::new(Arc::clone(&m), 0, 100);
+        core.advance_to(50);
+        assert_eq!(core.vtime(), 100, "advance_to never goes backwards");
+        core.advance_to(500);
+        assert_eq!(core.vtime(), 500);
+        core.set_vtime(200);
+        assert_eq!(core.vtime(), 200, "set_vtime may go backwards");
+    }
+
+    #[test]
+    fn idle_and_wake_publication() {
+        let m = machine(2);
+        let mut core = ProcCore::new(Arc::clone(&m), 0, 42);
+        assert_eq!(m.shared(0).published_vtime(), 42);
+        core.set_idle();
+        assert_eq!(m.shared(0).published_vtime(), IDLE);
+        core.wake();
+        assert_eq!(m.shared(0).published_vtime(), 42);
+    }
+
+    #[test]
+    fn throttle_respects_window() {
+        let m = Machine::new(MachineConfig {
+            nodes: 2,
+            frames_per_node: 4,
+            skew_window_ns: Some(1000),
+            ..MachineConfig::default()
+        })
+        .unwrap();
+        let mut fast = ProcCore::new(Arc::clone(&m), 0, 0);
+        let _slow = ProcCore::new(Arc::clone(&m), 1, 0);
+        assert!(!fast.should_throttle());
+        fast.charge(5000);
+        assert!(fast.should_throttle(), "5 us ahead of a 1 us window");
+        // When the other processor goes idle the window no longer binds.
+        m.shared(1).publish(IDLE);
+        assert!(!fast.should_throttle());
+    }
+}

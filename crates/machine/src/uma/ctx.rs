@@ -1,0 +1,338 @@
+//! The per-processor context of the UMA comparator machine.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::addr::Va;
+use crate::mem_iface::Mem;
+use crate::stats::AccessCounters;
+
+use super::{TagCache, UmaMachine};
+
+/// One simulated processor of the UMA comparator, implementing [`Mem`].
+///
+/// Owned by the thread that simulates the processor. Every access goes
+/// through the private tag cache and, on misses and writes, the shared
+/// bus, accumulating virtual time the same way the NUMA machine does.
+pub struct UmaCtx {
+    machine: Arc<UmaMachine>,
+    id: usize,
+    vtime: u64,
+    cache: TagCache,
+    counters: AccessCounters,
+    accesses: u32,
+    waiting: bool,
+}
+
+impl UmaCtx {
+    /// Creates the context for processor `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the machine.
+    pub fn new(machine: Arc<UmaMachine>, id: usize) -> Self {
+        assert!(id < machine.cfg().procs, "processor {id} out of range");
+        let lines = machine.cfg().cache_bytes / machine.cfg().line_bytes;
+        machine.publish(id, 0);
+        Self {
+            machine,
+            id,
+            vtime: 0,
+            cache: TagCache::new(lines),
+            counters: AccessCounters::default(),
+            accesses: 0,
+            waiting: false,
+        }
+    }
+
+    /// Clock-coupling bookkeeping, run on every access: publish the
+    /// clock periodically and respect the skew window (as the NUMA
+    /// machine's processors do).
+    #[inline]
+    fn tick(&mut self) {
+        self.accesses += 1;
+        if self.accesses < 64 {
+            return;
+        }
+        self.accesses = 0;
+        let Some(window) = self.machine.cfg().skew_window_ns else {
+            return;
+        };
+        if self.waiting {
+            self.machine.publish(self.id, u64::MAX);
+            return;
+        }
+        self.machine.publish(self.id, self.vtime);
+        loop {
+            let min = self.machine.min_running_vtime();
+            if min == u64::MAX || self.vtime <= min.saturating_add(window) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// The machine this processor belongs to.
+    pub fn machine(&self) -> &Arc<UmaMachine> {
+        &self.machine
+    }
+
+    /// Counters accumulated so far. The "local"/"remote" split reports
+    /// cache hits as local references and misses/write-throughs as remote
+    /// (bus) references.
+    pub fn counters(&self) -> AccessCounters {
+        let mut c = self.counters.clone();
+        let (h, m) = self.cache.stats();
+        c.atc_hits = h;
+        c.atc_misses = m;
+        c
+    }
+
+    #[inline]
+    fn word_index(&self, va: Va) -> usize {
+        assert_eq!(va % 4, 0, "misaligned access at {va:#x}");
+        let idx = (va / 4) as usize;
+        assert!(
+            idx < self.machine.cfg().mem_words,
+            "bus error: access at {va:#x} beyond physical memory"
+        );
+        idx
+    }
+
+    #[inline]
+    fn line_of(&self, word_idx: usize) -> u64 {
+        (word_idx / self.machine.cfg().words_per_line()) as u64
+    }
+
+    fn read_impl(&mut self, va: Va, charge: bool) -> u32 {
+        if charge {
+            self.tick();
+        }
+        let idx = self.word_index(va);
+        let line = self.line_of(idx);
+        let version = self.machine.line_version(idx);
+        let t = self.machine.cfg().timing.clone();
+        if self.cache.probe(line, version) {
+            if charge {
+                self.vtime += t.hit_ns;
+                self.counters.local_reads += 1;
+            }
+        } else {
+            // Miss: a bus transaction fetches the line.
+            let start = self.machine.bus_reserve(self.vtime, t.bus_line_service_ns);
+            if charge {
+                self.counters.queue_delay_ns += start - self.vtime;
+                self.vtime = start + t.miss_ns;
+                self.counters.remote_reads += 1;
+            }
+            self.cache.fill(line, version);
+        }
+        self.machine.word(idx).load(Ordering::Acquire)
+    }
+}
+
+impl Mem for UmaCtx {
+    fn proc_id(&self) -> usize {
+        self.id
+    }
+
+    fn nprocs(&self) -> usize {
+        self.machine.cfg().procs
+    }
+
+    fn vtime(&self) -> u64 {
+        self.vtime
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        if t > self.vtime {
+            self.vtime = t;
+        }
+    }
+
+    fn set_vtime(&mut self, t: u64) {
+        self.vtime = t;
+    }
+
+    fn compute(&mut self, ns: u64) {
+        self.vtime += ns;
+        self.counters.compute_ns += ns;
+    }
+
+    fn begin_wait(&mut self) {
+        self.waiting = true;
+        self.machine.publish(self.id, u64::MAX);
+    }
+
+    fn end_wait(&mut self) {
+        self.waiting = false;
+        self.machine.publish(self.id, self.vtime);
+    }
+
+    fn read(&mut self, va: Va) -> u32 {
+        self.read_impl(va, true)
+    }
+
+    fn read_spin(&mut self, va: Va) -> u32 {
+        self.read_impl(va, false)
+    }
+
+    fn write(&mut self, va: Va, val: u32) {
+        self.tick();
+        let idx = self.word_index(va);
+        let line = self.line_of(idx);
+        let t = self.machine.cfg().timing.clone();
+        // Write-through: the word goes over the bus to memory; other
+        // caches are invalidated by the version bump.
+        self.machine.word(idx).store(val, Ordering::Release);
+        let version = self.machine.bump_line_version(idx);
+        if self.cache.resident(line) {
+            self.cache.fill(line, version);
+        }
+        let start = self.machine.bus_reserve(self.vtime, t.bus_word_service_ns);
+        self.counters.queue_delay_ns += start - self.vtime;
+        self.vtime = start + t.write_ns;
+        self.counters.remote_writes += 1;
+    }
+
+    fn fetch_add(&mut self, va: Va, delta: u32) -> u32 {
+        self.tick();
+        let idx = self.word_index(va);
+        let t = self.machine.cfg().timing.clone();
+        let start = self.machine.bus_reserve(self.vtime, t.atomic_ns);
+        self.counters.queue_delay_ns += start - self.vtime;
+        self.vtime = start + t.atomic_ns;
+        self.counters.remote_atomics += 1;
+        let old = self.machine.word(idx).fetch_add(delta, Ordering::AcqRel);
+        self.machine.bump_line_version(idx);
+        old
+    }
+
+    fn compare_exchange(&mut self, va: Va, current: u32, new: u32) -> Result<u32, u32> {
+        self.tick();
+        let idx = self.word_index(va);
+        let t = self.machine.cfg().timing.clone();
+        let start = self.machine.bus_reserve(self.vtime, t.atomic_ns);
+        self.counters.queue_delay_ns += start - self.vtime;
+        self.vtime = start + t.atomic_ns;
+        self.counters.remote_atomics += 1;
+        let r = self
+            .machine
+            .word(idx)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        if r.is_ok() {
+            self.machine.bump_line_version(idx);
+        }
+        r
+    }
+
+    fn swap(&mut self, va: Va, val: u32) -> u32 {
+        self.tick();
+        let idx = self.word_index(va);
+        let t = self.machine.cfg().timing.clone();
+        let start = self.machine.bus_reserve(self.vtime, t.atomic_ns);
+        self.counters.queue_delay_ns += start - self.vtime;
+        self.vtime = start + t.atomic_ns;
+        self.counters.remote_atomics += 1;
+        let old = self.machine.word(idx).swap(val, Ordering::AcqRel);
+        self.machine.bump_line_version(idx);
+        old
+    }
+}
+
+impl Drop for UmaCtx {
+    fn drop(&mut self) {
+        // A finished processor must not hold the skew window's minimum.
+        self.machine.publish(self.id, u64::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uma::UmaConfig;
+
+    fn ctx() -> UmaCtx {
+        let m = UmaMachine::new(UmaConfig {
+            procs: 2,
+            mem_words: 4096,
+            ..UmaConfig::default()
+        })
+        .unwrap();
+        UmaCtx::new(m, 0)
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = ctx();
+        c.write(0, 7);
+        let t0 = c.vtime();
+        assert_eq!(c.read(0), 7); // first read of the line: miss
+        let t1 = c.vtime();
+        assert_eq!(c.read(0), 7); // second: hit
+        let t2 = c.vtime();
+        assert!(t1 - t0 > t2 - t1, "miss must cost more than hit");
+        assert_eq!(t2 - t1, 150);
+    }
+
+    #[test]
+    fn own_write_keeps_line_hot() {
+        let mut c = ctx();
+        let _ = c.read(0); // fill the line
+        c.write(0, 3); // own write-through updates own copy
+        let before = c.vtime();
+        assert_eq!(c.read(0), 3);
+        assert_eq!(c.vtime() - before, 150, "still a hit after own write");
+    }
+
+    #[test]
+    fn remote_write_invalidates() {
+        let m = UmaMachine::new(UmaConfig {
+            procs: 2,
+            mem_words: 4096,
+            ..UmaConfig::default()
+        })
+        .unwrap();
+        let mut a = UmaCtx::new(Arc::clone(&m), 0);
+        let mut b = UmaCtx::new(Arc::clone(&m), 1);
+        let _ = a.read(0);
+        b.write(0, 42);
+        let before = a.vtime();
+        assert_eq!(a.read(0), 42, "must observe the remote write");
+        assert!(
+            a.vtime() - before > 150,
+            "snooped-out line must miss, not hit"
+        );
+    }
+
+    #[test]
+    fn atomics_are_coherent() {
+        let m = UmaMachine::new(UmaConfig {
+            procs: 2,
+            mem_words: 4096,
+            ..UmaConfig::default()
+        })
+        .unwrap();
+        let mut a = UmaCtx::new(Arc::clone(&m), 0);
+        let mut b = UmaCtx::new(Arc::clone(&m), 1);
+        assert_eq!(a.fetch_add(0, 1), 0);
+        assert_eq!(b.fetch_add(0, 1), 1);
+        assert_eq!(a.read(0), 2);
+        assert_eq!(b.compare_exchange(0, 2, 5), Ok(2));
+        assert_eq!(a.swap(0, 9), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_panics() {
+        let mut c = ctx();
+        let _ = c.read(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus error")]
+    fn out_of_range_panics() {
+        let mut c = ctx();
+        let _ = c.read(4096 * 4);
+    }
+}

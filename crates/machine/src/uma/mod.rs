@@ -1,0 +1,279 @@
+//! A UMA comparator machine in the style of the Sequent Symmetry.
+//!
+//! Figure 5 of the paper compares merge sort on PLATINUM/Butterfly Plus
+//! against the same program on a Sequent Symmetry (model A processors with
+//! 8 KB write-through caches). We cannot run on a Symmetry either, so this
+//! module provides the closest synthetic equivalent: a bus-based UMA
+//! multiprocessor with small private write-through caches, a shared bus
+//! with contention accounting, and uniform memory latency.
+//!
+//! The cache model is *timing-only*: tags and per-line versions determine
+//! hits and misses (with write-invalidate snooping approximated through
+//! the version check), while data is always read from the shared backing
+//! store, so the comparator cannot produce incorrect application results.
+
+mod cache;
+mod ctx;
+
+pub use cache::TagCache;
+pub use ctx::UmaCtx;
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::addr::Va;
+use crate::contention::BucketedResource;
+
+/// Timing parameters of the UMA comparator.
+///
+/// Defaults approximate a Sequent Symmetry model A: a cache hit is fast, a
+/// miss is a full bus transaction fetching a 16-byte line, and every write
+/// goes through to memory over the bus (write-through).
+#[derive(Clone, Debug)]
+pub struct UmaTiming {
+    /// Latency of a cache hit.
+    pub hit_ns: u64,
+    /// Latency of a read miss (line fetch), excluding bus queueing.
+    pub miss_ns: u64,
+    /// Bus occupancy of a line fetch.
+    pub bus_line_service_ns: u64,
+    /// Latency of a write as seen by the processor (write buffer).
+    pub write_ns: u64,
+    /// Bus occupancy of a written-through word.
+    pub bus_word_service_ns: u64,
+    /// Latency and bus occupancy of an atomic (locked) operation.
+    pub atomic_ns: u64,
+}
+
+impl Default for UmaTiming {
+    fn default() -> Self {
+        Self {
+            hit_ns: 150,
+            miss_ns: 2000,
+            bus_line_service_ns: 1500,
+            write_ns: 800,
+            bus_word_service_ns: 800,
+            atomic_ns: 2400,
+        }
+    }
+}
+
+/// Configuration of the UMA comparator machine.
+#[derive(Clone, Debug)]
+pub struct UmaConfig {
+    /// Number of processors sharing the bus.
+    pub procs: usize,
+    /// Private cache capacity per processor, in bytes (Sequent model A:
+    /// 8 KB).
+    pub cache_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Total shared memory, in 32-bit words.
+    pub mem_words: usize,
+    /// Timing parameters.
+    pub timing: UmaTiming,
+    /// Virtual-clock coupling window, as on the NUMA machine: a processor
+    /// more than this far ahead of the slowest running processor stalls.
+    /// Required for the bus contention model, whose bucketed accounting
+    /// assumes clocks stay within the ring's span of each other.
+    pub skew_window_ns: Option<u64>,
+}
+
+impl Default for UmaConfig {
+    fn default() -> Self {
+        Self {
+            procs: 16,
+            cache_bytes: 8 * 1024,
+            line_bytes: 16,
+            mem_words: 1 << 22,
+            timing: UmaTiming::default(),
+            skew_window_ns: Some(2_000_000),
+        }
+    }
+}
+
+impl UmaConfig {
+    /// Words per cache line.
+    pub fn words_per_line(&self) -> usize {
+        self.line_bytes / 4
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.procs == 0 {
+            return Err("procs must be nonzero".into());
+        }
+        if !self.line_bytes.is_power_of_two() || self.line_bytes < 4 {
+            return Err("line_bytes must be a power of two >= 4".into());
+        }
+        if !self.cache_bytes.is_multiple_of(self.line_bytes) || self.cache_bytes == 0 {
+            return Err("cache_bytes must be a nonzero multiple of line_bytes".into());
+        }
+        if self.mem_words == 0 {
+            return Err("mem_words must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+/// The shared part of the UMA machine: memory, per-line write versions
+/// (for snoop approximation), and the bus.
+pub struct UmaMachine {
+    cfg: UmaConfig,
+    memory: Box<[AtomicU32]>,
+    /// One version counter per line-sized chunk of memory; bumped on every
+    /// write so that other caches' copies of the line stop hitting
+    /// (write-invalidate snooping, approximated).
+    line_versions: Box<[AtomicU64]>,
+    bus: BucketedResource,
+    alloc_next: AtomicU64,
+    /// Per-processor published clocks (`u64::MAX` = idle), for the skew
+    /// window.
+    published: Box<[AtomicU64]>,
+}
+
+impl UmaMachine {
+    /// Builds the machine.
+    pub fn new(cfg: UmaConfig) -> Result<Arc<Self>, String> {
+        cfg.validate()?;
+        let mut memory = Vec::with_capacity(cfg.mem_words);
+        memory.resize_with(cfg.mem_words, || AtomicU32::new(0));
+        let nlines = cfg.mem_words.div_ceil(cfg.words_per_line());
+        let mut versions = Vec::with_capacity(nlines);
+        versions.resize_with(nlines, || AtomicU64::new(0));
+        let published = (0..cfg.procs)
+            .map(|_| AtomicU64::new(u64::MAX))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ok(Arc::new(Self {
+            cfg,
+            memory: memory.into_boxed_slice(),
+            line_versions: versions.into_boxed_slice(),
+            bus: BucketedResource::new(100_000),
+            alloc_next: AtomicU64::new(0),
+            published,
+        }))
+    }
+
+    /// The machine configuration.
+    pub fn cfg(&self) -> &UmaConfig {
+        &self.cfg
+    }
+
+    /// Allocates `words` consecutive words, returning their base address.
+    ///
+    /// A simple bump allocator; the comparator has no virtual memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when memory is exhausted.
+    pub fn alloc_words(&self, words: usize) -> Va {
+        let base = self.alloc_next.fetch_add(words as u64, Ordering::Relaxed);
+        assert!(
+            (base + words as u64) <= self.cfg.mem_words as u64,
+            "UMA machine out of memory"
+        );
+        base * 4
+    }
+
+    #[inline]
+    pub(crate) fn word(&self, idx: usize) -> &AtomicU32 {
+        &self.memory[idx]
+    }
+
+    #[inline]
+    pub(crate) fn line_version(&self, word_idx: usize) -> u64 {
+        self.line_versions[word_idx / self.cfg.words_per_line()].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn bump_line_version(&self, word_idx: usize) -> u64 {
+        self.line_versions[word_idx / self.cfg.words_per_line()]
+            .fetch_add(1, Ordering::Relaxed)
+            + 1
+    }
+
+    /// Reserves `service_ns` of the shared bus at virtual time `now`;
+    /// returns the assigned start time.
+    pub(crate) fn bus_reserve(&self, now: u64, service_ns: u64) -> u64 {
+        now + self.bus.reserve(now, service_ns)
+    }
+
+    pub(crate) fn publish(&self, proc: usize, vtime: u64) {
+        self.published[proc].store(vtime, Ordering::Relaxed);
+    }
+
+    pub(crate) fn min_running_vtime(&self) -> u64 {
+        self.published
+            .iter()
+            .map(|p| p.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        UmaConfig::default().validate().unwrap();
+        let mut c = UmaConfig {
+            line_bytes: 12,
+            ..UmaConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.line_bytes = 16;
+        c.procs = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn alloc_is_disjoint() {
+        let m = UmaMachine::new(UmaConfig {
+            mem_words: 1024,
+            ..UmaConfig::default()
+        })
+        .unwrap();
+        let a = m.alloc_words(100);
+        let b = m.alloc_words(100);
+        assert_eq!(a, 0);
+        assert_eq!(b, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn alloc_exhaustion_panics() {
+        let m = UmaMachine::new(UmaConfig {
+            mem_words: 64,
+            ..UmaConfig::default()
+        })
+        .unwrap();
+        let _ = m.alloc_words(65);
+    }
+
+    #[test]
+    fn bus_queues_under_overload() {
+        let m = UmaMachine::new(UmaConfig::default()).unwrap();
+        // Below bucket capacity: free.
+        assert_eq!(m.bus_reserve(0, 600), 0);
+        // Saturate the bucket: later requests queue.
+        for _ in 0..200 {
+            let _ = m.bus_reserve(0, 600);
+        }
+        assert!(m.bus_reserve(0, 600) > 0);
+    }
+
+    #[test]
+    fn line_versions_bump() {
+        let m = UmaMachine::new(UmaConfig::default()).unwrap();
+        let v0 = m.line_version(0);
+        let v1 = m.bump_line_version(0);
+        assert_eq!(v1, v0 + 1);
+        // Words within the same line share a version.
+        assert_eq!(m.line_version(3), v1);
+        // Words in a different line do not.
+        assert_eq!(m.line_version(4), 0);
+    }
+}

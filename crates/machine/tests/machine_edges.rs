@@ -1,0 +1,177 @@
+//! Edge-case integration tests of the machine substrate.
+
+use std::sync::Arc;
+
+use numa_machine::uma::{UmaConfig, UmaCtx, UmaMachine};
+use numa_machine::{
+    AccessKind, Machine, MachineConfig, Mem, PhysPage, ProcCore,
+};
+
+fn machine(nodes: usize) -> Arc<Machine> {
+    Machine::new(MachineConfig {
+        nodes,
+        frames_per_node: 16,
+        skew_window_ns: None,
+        ..MachineConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn block_charges_span_buckets_without_self_queueing() {
+    // A long local stream (several buckets worth) must see zero queueing
+    // delay: a self-paced processor cannot contend with itself.
+    let m = machine(2);
+    let mut core = ProcCore::new(Arc::clone(&m), 0, 0);
+    core.charge_word_block(PhysPage::new(0, 0), AccessKind::Read, 4096);
+    // A local stream saturates its own module exactly (service ==
+    // latency); the bucketed model's chunk/bucket misalignment may charge
+    // a sub-percent residue, but no real queueing.
+    let delay = core.counters().queue_delay_ns;
+    let stream = 4096 * 320;
+    assert!(
+        delay < stream / 100,
+        "self-paced local stream must not materially self-queue: {delay} ns"
+    );
+    assert_eq!(core.vtime(), stream + delay);
+    assert_eq!(core.counters().local_reads, 4096);
+
+    // A remote stream runs at 12% utilization: exactly zero queueing.
+    // (Fresh machine: the local stream above already booked module 0's
+    // buckets over the same virtual times.)
+    let m = machine(2);
+    let mut r = ProcCore::new(Arc::clone(&m), 1, 0);
+    r.charge_word_block(PhysPage::new(0, 0), AccessKind::Read, 2048);
+    assert_eq!(r.counters().remote_reads, 2048);
+    assert_eq!(r.counters().queue_delay_ns, 0);
+    assert_eq!(r.vtime(), 2048 * 5000);
+}
+
+#[test]
+#[should_panic(expected = "onto itself")]
+fn block_transfer_to_same_frame_panics() {
+    let m = machine(2);
+    let mut core = ProcCore::new(m, 0, 0);
+    core.block_transfer(PhysPage::new(0, 0), PhysPage::new(0, 0));
+}
+
+#[test]
+fn sixty_four_node_machine_boots_and_masks_work() {
+    let m = Machine::new(MachineConfig {
+        nodes: 64,
+        frames_per_node: 2,
+        skew_window_ns: None,
+        ..MachineConfig::default()
+    })
+    .unwrap();
+    assert_eq!(m.nprocs(), 64);
+    // The highest processor's bit still fits the u64 masks.
+    let mut core = ProcCore::new(Arc::clone(&m), 63, 0);
+    core.charge_word_access(PhysPage::new(63, 1), AccessKind::Write);
+    assert_eq!(core.counters().local_writes, 1);
+    assert!(Machine::new(MachineConfig {
+        nodes: 65,
+        ..MachineConfig::default()
+    })
+    .is_err());
+}
+
+#[test]
+fn uma_ctx_publishes_idle_on_drop_and_while_waiting() {
+    let m = UmaMachine::new(UmaConfig {
+        procs: 2,
+        mem_words: 1 << 12,
+        ..UmaConfig::default()
+    })
+    .unwrap();
+    {
+        let mut a = UmaCtx::new(Arc::clone(&m), 0);
+        let mut b = UmaCtx::new(Arc::clone(&m), 1);
+        // b races far ahead; a waits; the skew window must not deadlock
+        // because waiting processors publish idle.
+        a.begin_wait();
+        for i in 0..100_000u64 {
+            b.write((i % 512) * 4, i as u32);
+        }
+        a.end_wait();
+        assert!(b.vtime() > 0);
+    } // both drop here
+    // After drop, a fresh context can run ahead freely (dropped
+    // processors do not hold the window's minimum down).
+    let mut c = UmaCtx::new(m, 0);
+    for i in 0..100_000u64 {
+        c.write((i % 512) * 4, i as u32);
+    }
+}
+
+#[test]
+fn uma_read_spin_is_uncharged_but_sees_fresh_data() {
+    let m = UmaMachine::new(UmaConfig {
+        procs: 2,
+        mem_words: 1 << 10,
+        ..UmaConfig::default()
+    })
+    .unwrap();
+    let mut a = UmaCtx::new(Arc::clone(&m), 0);
+    let mut b = UmaCtx::new(Arc::clone(&m), 1);
+    b.write(0, 7);
+    let before = a.vtime();
+    assert_eq!(a.read_spin(0), 7);
+    assert_eq!(a.vtime(), before, "spin reads are uncharged");
+}
+
+#[test]
+fn skew_window_couples_numa_clocks() {
+    // With the window on, a runaway processor stalls (in real time)
+    // until the other catches up; verify by running both and checking
+    // final clock spread stays within the window + one publish interval.
+    let m = Machine::new(MachineConfig {
+        nodes: 2,
+        frames_per_node: 16,
+        skew_window_ns: Some(500_000),
+        ..MachineConfig::default()
+    })
+    .unwrap();
+    let spread = std::thread::scope(|s| {
+        let m1 = Arc::clone(&m);
+        let fast = s.spawn(move || {
+            let mut c = ProcCore::new(m1, 0, 0);
+            for _ in 0..40_000 {
+                c.charge_word_access(PhysPage::new(0, 0), AccessKind::Read);
+                if c.tick() {
+                    while c.should_throttle() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            c.set_idle();
+            c.vtime()
+        });
+        let m2 = Arc::clone(&m);
+        let slow = s.spawn(move || {
+            let mut c = ProcCore::new(m2, 1, 0);
+            for _ in 0..40_000 {
+                c.charge_word_access(PhysPage::new(1, 0), AccessKind::Read);
+                // The slow processor does extra "compute" per access.
+                c.charge(320);
+                if c.tick() {
+                    while c.should_throttle() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            c.set_idle();
+            c.vtime()
+        });
+        let f = fast.join().unwrap();
+        let sl = slow.join().unwrap();
+        (f, sl)
+    });
+    // Both did 40k accesses: fast at 320 ns each (12.8 ms), slow at
+    // 640 ns each (25.6 ms). Unthrottled, fast would finish at 12.8 ms;
+    // the window forces it to track the slow clock to within ~0.5 ms
+    // until the end. We can only assert the mechanism didn't deadlock
+    // and both finished with sane clocks.
+    assert!(spread.0 >= 40_000 * 320);
+    assert!(spread.1 >= 40_000 * 640);
+}

@@ -1,0 +1,138 @@
+//! Multithreaded stress tests of the synchronization primitives running
+//! on real PLATINUM coherent memory: mutual exclusion, barrier
+//! generations, and event-count ordering must all hold while the pages
+//! underneath them freeze and thaw.
+
+use platinum_runtime::par::PlatinumHarness;
+use platinum_runtime::sync::{Barrier, EventCount, SpinLock};
+
+use numa_machine::Mem;
+
+#[test]
+fn spinlock_provides_mutual_exclusion() {
+    let h = PlatinumHarness::new(4);
+    let mut zone = h.alloc_zone(2);
+    let lock_va = zone.alloc_page_aligned(1);
+    let counter = zone.alloc_page_aligned(1);
+    let lock = SpinLock::new(lock_va);
+    const OPS: u32 = 300;
+
+    h.run(4, |_, ctx| {
+        for _ in 0..OPS {
+            lock.with(ctx, |ctx| {
+                // Non-atomic read-modify-write: only safe under the lock.
+                let v = ctx.read(counter);
+                ctx.compute(1000);
+                ctx.write(counter, v + 1);
+            });
+        }
+    });
+    let (vals, _) = h.run(1, |_, ctx| ctx.read(counter));
+    assert_eq!(vals[0], 4 * OPS, "lost updates => mutual exclusion broken");
+}
+
+#[test]
+fn lock_acquirer_inherits_release_time() {
+    let h = PlatinumHarness::new(2);
+    let mut zone = h.alloc_zone(1);
+    let lock = SpinLock::new(zone.alloc_words(1));
+    let (times, _) = h.run(2, |tid, ctx| {
+        if tid == 0 {
+            lock.acquire(ctx);
+            ctx.compute(50_000_000); // hold for 50 ms
+            lock.release(ctx);
+            ctx.vtime()
+        } else {
+            // Give worker 0 a head start in real time so it usually wins
+            // the lock first; either way the invariants below hold.
+            std::thread::yield_now();
+            lock.acquire(ctx);
+            let t = ctx.vtime();
+            lock.release(ctx);
+            t
+        }
+    });
+    // Whoever acquired second cannot have done so before the first
+    // holder's release (minus nothing: release times propagate).
+    let later = times[0].max(times[1]);
+    assert!(
+        later >= 50_000_000,
+        "second acquisition at {later} ns cannot precede the 50 ms hold"
+    );
+}
+
+#[test]
+fn barrier_runs_many_generations() {
+    let h = PlatinumHarness::new(4);
+    let mut zone = h.alloc_zone(2);
+    let counters = zone.alloc_page_aligned(4);
+    let b1 = zone.alloc_page_aligned(2);
+    let barrier = Barrier::new(b1, b1 + 4, 4);
+    const ROUNDS: u32 = 40;
+
+    h.run(4, |tid, ctx| {
+        for round in 0..ROUNDS {
+            // Phase A: everyone writes its own slot.
+            ctx.write(counters + 4 * tid as u64, round);
+            barrier.wait(ctx);
+            // Phase B: everyone must see everyone's phase-A writes.
+            for other in 0..4u64 {
+                let v = ctx.read(counters + 4 * other);
+                assert_eq!(v, round, "barrier failed to order round {round}");
+            }
+            barrier.wait(ctx);
+        }
+    });
+}
+
+#[test]
+fn event_count_orders_producer_chain() {
+    let h = PlatinumHarness::new(3);
+    let mut zone = h.alloc_zone(2);
+    let data = zone.alloc_page_aligned(64);
+    let ec = EventCount::new(zone.alloc_page_aligned(1));
+    const ITEMS: u32 = 48;
+
+    h.run(3, |tid, ctx| {
+        if tid == 0 {
+            for i in 0..ITEMS {
+                ctx.write(data + 4 * (i % 64) as u64, i + 1);
+                ec.advance(ctx);
+            }
+        } else {
+            for i in 0..ITEMS {
+                ec.await_at_least(ctx, i + 1);
+                let v = ctx.read(data + 4 * (i % 64) as u64);
+                assert!(
+                    v > i,
+                    "consumer {tid} saw stale item {i}: {v}"
+                );
+            }
+        }
+    });
+    let (final_count, _) = h.run(1, |_, ctx| ec.current(ctx));
+    assert_eq!(final_count[0], ITEMS);
+}
+
+#[test]
+fn sync_pages_freeze_under_contention() {
+    // The §4.2 phenomenon that motivates allocation zones: a heavily
+    // contended lock page ends up frozen.
+    let h = PlatinumHarness::new(4);
+    let mut zone = h.alloc_zone(2);
+    let lock = SpinLock::new(zone.alloc_page_aligned(1));
+    let scratch = zone.alloc_page_aligned(4);
+    h.run(4, |tid, ctx| {
+        for _ in 0..60 {
+            lock.with(ctx, |ctx| {
+                let v = ctx.read(scratch);
+                ctx.write(scratch, v + tid as u32);
+            });
+        }
+    });
+    let report = h.kernel.report();
+    assert!(
+        !report.ever_frozen().is_empty(),
+        "contended synchronization pages must freeze:\n{report}"
+    );
+}

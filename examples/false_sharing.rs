@@ -1,0 +1,54 @@
+//! The §4.2 war story: a spin-lock barrier accidentally co-located with a
+//! read-mostly variable freezes the page and turns every inner-loop read
+//! remote — and the kernel's post-mortem report is how you find out.
+//!
+//! Run with:
+//!   cargo run --release --example false_sharing
+
+use platinum_repro::apps::gauss::GaussConfig;
+use platinum_repro::apps::harness::run_gauss_anecdote;
+
+fn main() {
+    let cfg = GaussConfig {
+        n: 160,
+        ..Default::default()
+    };
+    let p = 8;
+    println!("Gaussian elimination with a shared matrix-size variable in the inner loop\n");
+
+    // The accident: matrix-size variable and barrier words on one page,
+    // on a kernel without a defrost daemon.
+    let frozen = run_gauss_anecdote(16, p, &cfg, true, u64::MAX / 2);
+    println!(
+        "co-located + no thawing:  {:>8.1} ms   ({} page(s) froze and stayed frozen)",
+        frozen.elapsed_ns as f64 / 1e6,
+        frozen.kernel_stats.freezes
+    );
+
+    // Same layout, but the defrost daemon thaws frozen pages every 1 s of
+    // virtual time — the fix the paper added to the kernel.
+    let thawed = run_gauss_anecdote(16, p, &cfg, true, 1_000_000_000);
+    println!(
+        "co-located + defrost 1s:  {:>8.1} ms   ({} thaw(s) rescued the page)",
+        thawed.elapsed_ns as f64 / 1e6,
+        thawed.kernel_stats.thaws
+    );
+
+    // The real fix: allocation zones keep data with different access
+    // patterns on different pages (§6).
+    let separated = run_gauss_anecdote(16, p, &cfg, false, 1_000_000_000);
+    println!(
+        "page-separated layout:    {:>8.1} ms",
+        separated.elapsed_ns as f64 / 1e6
+    );
+
+    println!(
+        "\nslowdown from the frozen page: {:.2}x; thawing recovers all but {:.0} ms",
+        frozen.elapsed_ns as f64 / separated.elapsed_ns as f64,
+        (thawed.elapsed_ns as f64 - separated.elapsed_ns as f64) / 1e6
+    );
+    println!(
+        "(the paper: \"the old version of the program took less than two seconds\n\
+         more to run than the new version\" once thawing existed)"
+    );
+}

@@ -1,0 +1,51 @@
+//! The paper's flagship workload (§5.1): simulated integer Gaussian
+//! elimination with statically allocated rows and a transparently
+//! replicated pivot row — and the same program under three memory
+//! systems.
+//!
+//! Run with:
+//!   cargo run --release --example gaussian_elimination -- [n] [procs]
+
+use platinum_repro::apps::gauss::{reference_checksum, GaussConfig};
+use platinum_repro::apps::harness::{run_gauss, GaussStyle, PolicyKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(160);
+    let procs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let cfg = GaussConfig {
+        n,
+        ..Default::default()
+    };
+
+    println!("Gaussian elimination, {n}x{n} integer matrix, {procs} of 16 processors\n");
+    let expected = reference_checksum(&cfg);
+
+    for style in [
+        GaussStyle::Shared(PolicyKind::Platinum),
+        GaussStyle::UniformSystem,
+        GaussStyle::MessagePassing,
+    ] {
+        let run = run_gauss(style, 16, procs, &cfg);
+        assert_eq!(
+            run.checksum, expected,
+            "{} computed a different matrix!",
+            style.name()
+        );
+        let c = run.run.merged_counters();
+        println!(
+            "{:<26} {:>9.1} ms   remote refs {:>5.1}%   replications {:>5}   result OK",
+            style.name(),
+            run.elapsed_ns as f64 / 1e6,
+            c.remote_fraction() * 100.0,
+            run.kernel_stats.replications,
+        );
+    }
+
+    println!(
+        "\nAll three styles compute bit-identical results; the paper's point is\n\
+         that the transparent version needs no data-placement code at all\n\
+         (17 lines of elimination code vs 41 for the Uniform System and 64\n\
+         for message passing, §6) yet performs close to the hand-tuned one."
+    );
+}

@@ -1,0 +1,42 @@
+//! Merge sort on two machines (§5.2): PLATINUM coherent memory on the
+//! NUMA machine vs. the same code on a Sequent-like UMA comparator.
+//!
+//! Run with:
+//!   cargo run --release --example merge_sort -- [n] [procs]
+
+use platinum_repro::apps::harness::{run_mergesort_platinum, run_mergesort_uma};
+use platinum_repro::apps::mergesort::SortConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1 << 15);
+    let procs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    assert!(procs.is_power_of_two(), "procs must be a power of two");
+    let cfg = SortConfig {
+        n,
+        ..Default::default()
+    };
+
+    println!("tree merge sort, {n} keys, {procs} processors\n");
+
+    let plat = run_mergesort_platinum(16, procs, &cfg);
+    println!(
+        "PLATINUM / Butterfly Plus: {:>8.1} ms  (replications {}, verified sorted)",
+        plat.elapsed_ns as f64 / 1e6,
+        plat.kernel_stats.replications
+    );
+
+    let uma = run_mergesort_uma(16, procs, &cfg);
+    let c = uma.run.merged_counters();
+    println!(
+        "Sequent-like UMA machine:  {:>8.1} ms  (bus transactions {}, verified sorted)",
+        uma.elapsed_ns as f64 / 1e6,
+        c.remote_refs()
+    );
+
+    println!(
+        "\nCoherent pages act as large prefetching caches for the merge's linear\n\
+         scans; the UMA comparator's 8 KB write-through caches keep nothing\n\
+         between phases and push every write through one shared bus."
+    );
+}
