@@ -143,7 +143,14 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
         let _ = writeln!(out, "{label}{line}");
     }
     let _ = writeln!(out, "{:>9}+{}", "", "-".repeat(width));
-    let _ = writeln!(out, "{:>10}{:<10.1}{:>width$.1}", "", xmin, xmax, width = width - 10);
+    let _ = writeln!(
+        out,
+        "{:>10}{:<10.1}{:>width$.1}",
+        "",
+        xmin,
+        xmax,
+        width = width - 10
+    );
     for (si, s) in series.iter().enumerate() {
         let _ = writeln!(out, "{:>10}{} = {}", "", GLYPHS[si % GLYPHS.len()], s.name);
     }
@@ -174,7 +181,12 @@ pub mod json {
     impl Value {
         /// Convenience constructor for objects.
         pub fn obj(fields: Vec<(&str, Value)>) -> Value {
-            Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            Value::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
         }
 
         /// Serializes the value to a JSON string.
@@ -318,7 +330,10 @@ mod tests {
             ("xs", Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)])),
         ]);
         let s = v.to_json();
-        assert_eq!(s, "{\"name\":\"a\\\"b\\nc\",\"n\":1.5,\"ok\":true,\"xs\":[1,2]}");
+        assert_eq!(
+            s,
+            "{\"name\":\"a\\\"b\\nc\",\"n\":1.5,\"ok\":true,\"xs\":[1,2]}"
+        );
         assert_eq!(Value::Num(f64::NAN).to_json(), "null");
     }
 

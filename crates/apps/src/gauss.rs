@@ -26,9 +26,9 @@
 //! equality is a strong end-to-end test of the whole stack.
 
 use numa_machine::{Mem, Va};
+use platinum::{Port, UserCtx};
 use platinum_runtime::sync::EventCount;
 use platinum_runtime::zones::Zone;
-use platinum::{Port, UserCtx};
 
 /// Problem configuration.
 #[derive(Clone, Debug)]
@@ -109,7 +109,13 @@ pub fn owns(tid: usize, p: usize, row: usize) -> bool {
 
 /// Initializes the rows owned by `tid`: first touch places each row on
 /// its owner's node.
-pub fn init_owned_rows<M: Mem>(m: &mut M, lay: &GaussLayout, cfg: &GaussConfig, tid: usize, p: usize) {
+pub fn init_owned_rows<M: Mem>(
+    m: &mut M,
+    lay: &GaussLayout,
+    cfg: &GaussConfig,
+    tid: usize,
+    p: usize,
+) {
     let mut buf = vec![0u32; lay.n];
     for row in (0..lay.n).filter(|r| owns(tid, p, *r)) {
         for (j, b) in buf.iter_mut().enumerate() {

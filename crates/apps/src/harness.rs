@@ -139,8 +139,7 @@ pub fn run_gauss(style: GaussStyle, nodes: usize, p: usize, cfg: &GaussConfig) -
             gauss::run_uniform_system(ctx, &lay, cfg, &ec, tid, p);
         }),
         GaussStyle::MessagePassing => {
-            let ports: Vec<Arc<platinum::Port>> =
-                (0..p).map(|_| h.kernel.create_port()).collect();
+            let ports: Vec<Arc<platinum::Port>> = (0..p).map(|_| h.kernel.create_port()).collect();
             let ports = &ports;
             let lay = &lay;
             h.run(p, move |tid, ctx| {
@@ -234,7 +233,9 @@ pub fn run_mergesort_platinum(nodes: usize, p: usize, cfg: &SortConfig) -> AppRu
     let mut sync = h.alloc_zone(1);
     let barrier = Barrier::new(sync.alloc_words(1), sync.alloc_words(1), p as u32);
 
-    h.run(p, |tid, ctx| mergesort::init_segment(ctx, &lay, cfg, tid, p));
+    h.run(p, |tid, ctx| {
+        mergesort::init_segment(ctx, &lay, cfg, tid, p)
+    });
     let (_, run) = h.run(p, |tid, ctx| {
         mergesort::run(ctx, &lay, cfg, &barrier, tid, p);
     });
@@ -356,10 +357,7 @@ mod tests {
         };
         let t1 = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 4, 1, &cfg).elapsed_ns;
         let t4 = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 4, 4, &cfg).elapsed_ns;
-        assert!(
-            t4 < t1,
-            "4 processors must beat 1: t1={t1} t4={t4}"
-        );
+        assert!(t4 < t1, "4 processors must beat 1: t1={t1} t4={t4}");
     }
 
     #[test]

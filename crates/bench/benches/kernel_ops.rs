@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 use numa_machine::{Machine, MachineConfig, Mem};
+use platinum::trace::{TraceConfig, Tracer};
 use platinum::{Kernel, Rights};
 
 fn machine(nodes: usize) -> Arc<Machine> {
@@ -28,9 +29,7 @@ fn bench_fast_path(c: &mut Criterion) {
     c.bench_function("fast_path_read_atc_hit", |b| {
         b.iter(|| std::hint::black_box(ctx.read(va)))
     });
-    c.bench_function("fast_path_write_atc_hit", |b| {
-        b.iter(|| ctx.write(va, 2))
-    });
+    c.bench_function("fast_path_write_atc_hit", |b| b.iter(|| ctx.write(va, 2)));
     c.bench_function("fast_path_fetch_add", |b| {
         b.iter(|| std::hint::black_box(ctx.fetch_add(va, 1)))
     });
@@ -100,9 +99,44 @@ fn bench_replication(c: &mut Criterion) {
     });
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // The migrate ping-pong again — the emit-heaviest path in the kernel
+    // (fault begin/end, migrate, invalidation, shootdown bookkeeping per
+    // iteration) — measured with no tracer installed and with one
+    // attached and recording. The first bound is the cost tracing adds
+    // when disabled (it must not be measurable); the second is the price
+    // of turning it on.
+    for (label, traced) in [
+        ("migrate_cycle_trace_off", false),
+        ("migrate_cycle_trace_on", true),
+    ] {
+        let kernel = Kernel::with_policy(machine(2), Box::new(platinum::AlwaysReplicate));
+        if traced {
+            let tracer = Tracer::new(TraceConfig::default());
+            kernel.install_tracer(tracer);
+        }
+        let space = kernel.create_space();
+        let object = kernel.create_object(1);
+        let va = space.map_anywhere(object, Rights::RW).unwrap();
+        let mut a = kernel.attach(Arc::clone(&space), 0, 0).unwrap();
+        let mut b_ctx = kernel.attach(space, 1, 0).unwrap();
+        c.bench_function(label, |bch| {
+            bch.iter(|| {
+                b_ctx.suspend();
+                a.resume();
+                a.write(va, 1);
+                a.suspend();
+                b_ctx.resume();
+                b_ctx.write(va, 2);
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_fast_path, bench_block_ops, bench_fault_cycle, bench_replication
+    targets = bench_fast_path, bench_block_ops, bench_fault_cycle, bench_replication,
+        bench_trace_overhead
 }
 criterion_main!(benches);

@@ -17,18 +17,19 @@
 //! With no flags, runs everything.
 
 use numa_machine::MachineConfig;
+use platinum::{KernelConfig, PlatinumPolicy};
 use platinum_analysis::report::Table;
 use platinum_apps::gauss::GaussConfig;
 use platinum_apps::harness::{run_gauss, run_gauss_anecdote, GaussStyle, PolicyKind};
 use platinum_apps::neural::NeuralConfig;
 use platinum_apps::workloads::{round_robin, SharingConfig};
-use platinum_bench::Args;
+use platinum_bench::{Args, TraceSink};
 use platinum_runtime::par::PlatinumHarness;
 use platinum_runtime::sync::EventCount;
-use platinum::{KernelConfig, PlatinumPolicy};
 
 fn main() {
     let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     let all = !(args.flag("--t1")
         || args.flag("--t2")
         || args.flag("--variant")
@@ -49,6 +50,7 @@ fn main() {
     if all || args.flag("--pagesize") {
         pagesize_sweep(&args);
     }
+    platinum_bench::trace_out::finish(sink);
 }
 
 /// Gaussian elimination under different t1 values.
@@ -98,10 +100,7 @@ fn run_gauss_with_harness(h: &PlatinumHarness, p: usize, cfg: &GaussConfig) -> (
     let (_, run) = h.run(p, |tid, ctx| {
         gauss::run_shared(ctx, &lay, cfg, &ec, tid, p);
     });
-    (
-        run.elapsed_ns(),
-        h.kernel.stats().snapshot().freezes,
-    )
+    (run.elapsed_ns(), h.kernel.stats().snapshot().freezes)
 }
 
 /// The anecdote under different defrost periods.
@@ -236,7 +235,11 @@ fn pagesize_sweep(args: &Args) {
         // Keep total memory per node constant.
         mcfg.frames_per_node = 4096 << (12 - shift.min(12)) << (shift.saturating_sub(12));
         mcfg.frames_per_node = (4096u64 * 4096 / (1u64 << shift)) as usize * 4;
-        let h = PlatinumHarness::with_config(mcfg, PolicyKind::Platinum.build(), KernelConfig::default());
+        let h = PlatinumHarness::with_config(
+            mcfg,
+            PolicyKind::Platinum.build(),
+            KernelConfig::default(),
+        );
         let run = run_gauss_with_harness(&h, p, &cfg);
         let s = h.kernel.stats().snapshot();
         table.row(vec![

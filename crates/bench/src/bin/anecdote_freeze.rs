@@ -16,15 +16,16 @@
 //!   3. page-separated                (the fixed program)
 //!
 //! Usage:
-//!   anecdote_freeze [--n 300] [--procs 8]
+//!   anecdote_freeze [--n 300] [--procs 8] [--trace out.json]
 
 use platinum_analysis::report::Table;
 use platinum_apps::gauss::GaussConfig;
 use platinum_apps::harness::run_gauss_anecdote;
-use platinum_bench::Args;
+use platinum_bench::{Args, TraceSink};
 
 fn main() {
     let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     let n = args.get_or("--n", 300usize);
     let p = args.get_or("--procs", 8usize);
     let cfg = GaussConfig {
@@ -46,6 +47,9 @@ fn main() {
     let mut results = Vec::new();
     let mut checksum = None;
     for (name, colocated, t2) in cases {
+        if let Some(s) = &sink {
+            s.phase(name);
+        }
         let run = run_gauss_anecdote(16.max(p), p, &cfg, colocated, t2);
         match checksum {
             None => checksum = Some(run.checksum),
@@ -78,4 +82,5 @@ fn main() {
     } else {
         println!("shape check FAILED: thawing did not help");
     }
+    platinum_bench::trace_out::finish(sink);
 }

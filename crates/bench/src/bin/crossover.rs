@@ -20,7 +20,7 @@ use platinum_analysis::model::{g_round_robin, CostModel};
 use platinum_analysis::report::Table;
 use platinum_apps::harness::PolicyKind;
 use platinum_apps::workloads::{operation_for_benchmarks, SharingConfig};
-use platinum_bench::Args;
+use platinum_bench::{Args, TraceSink};
 use platinum_runtime::par::PlatinumHarness;
 
 /// Host-side round-robin turn-taking with virtual-time propagation.
@@ -75,11 +75,7 @@ impl HostTurn {
 fn run_once(policy: PolicyKind, p: usize, cfg: &SharingConfig) -> u64 {
     let mut mcfg = MachineConfig::with_nodes(p.max(2));
     mcfg.frames_per_node = 512;
-    let h = PlatinumHarness::with_config(
-        mcfg,
-        policy.build(),
-        platinum::KernelConfig::default(),
-    );
+    let h = PlatinumHarness::with_config(mcfg, policy.build(), platinum::KernelConfig::default());
     let mut data = h.alloc_zone(2);
     let base = data.alloc_page_aligned(cfg.struct_words);
     let turn = HostTurn::new();
@@ -97,6 +93,7 @@ fn run_once(policy: PolicyKind, p: usize, cfg: &SharingConfig) -> u64 {
 
 fn main() {
     let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     let p = args.get_or("--procs", 2usize);
     let ops = args.get_or("--ops", 40usize);
     let s_words = 1024u64;
@@ -104,16 +101,12 @@ fn main() {
 
     println!("Section 4.1 crossover: migrate vs remote access, p={p} (g(p) = {g:.3})\n");
 
-    let mut table = Table::new(vec![
-        "rho",
-        "refs/op",
-        "migrate ms",
-        "remote ms",
-        "winner",
-    ]);
+    let mut table = Table::new(vec!["rho", "refs/op", "migrate ms", "remote ms", "winner"]);
     let mut crossover_rho: Option<(f64, f64)> = None;
     let mut prev: Option<(f64, f64)> = None; // (rho, migrate/remote ratio)
-    let rhos = [0.125f64, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.25, 1.5];
+    let rhos = [
+        0.125f64, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.25, 1.5,
+    ];
     for &rho in &rhos {
         let refs = (rho * s_words as f64) as usize;
         // Read-dominated references, matching the analysis (its C_remote
@@ -142,7 +135,12 @@ fn main() {
             refs.to_string(),
             format!("{:.2}", migrate as f64 / 1e6),
             format!("{:.2}", remote as f64 / 1e6),
-            if migrate < remote { "migrate" } else { "remote" }.to_string(),
+            if migrate < remote {
+                "migrate"
+            } else {
+                "remote"
+            }
+            .to_string(),
         ]);
         eprintln!("  rho={rho:.3} done");
     }
@@ -168,4 +166,5 @@ fn main() {
         "inequality (2) with the paper's constants:     rho* = {:.3}",
         paper.crossover_density(s_words, g)
     );
+    platinum_bench::trace_out::finish(sink);
 }

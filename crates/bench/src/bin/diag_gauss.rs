@@ -1,14 +1,24 @@
 use numa_machine::MachineConfig;
 use platinum_apps::gauss::{self, GaussConfig, GaussLayout};
 use platinum_apps::harness::PolicyKind;
+use platinum_bench::{Args, TraceSink};
 use platinum_runtime::par::PlatinumHarness;
 use platinum_runtime::sync::EventCount;
 
 fn main() {
-    let cfg = GaussConfig { n: 200, ..Default::default() };
+    let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
+    let cfg = GaussConfig {
+        n: 200,
+        ..Default::default()
+    };
     let mut mcfg = MachineConfig::with_nodes(16);
     mcfg.frames_per_node = 4096;
-    let h = PlatinumHarness::with_config(mcfg, PolicyKind::Platinum.build(), platinum::KernelConfig::default());
+    let h = PlatinumHarness::with_config(
+        mcfg,
+        PolicyKind::Platinum.build(),
+        platinum::KernelConfig::default(),
+    );
     let page_words = h.kernel.machine().cfg().words_per_page();
     let stride = cfg.n.div_ceil(page_words) * page_words;
     let pages = (stride * cfg.n).div_ceil(page_words) + 2;
@@ -17,8 +27,12 @@ fn main() {
     let mut sync = h.alloc_zone(1);
     let ec = EventCount::new(sync.alloc_words(1));
     let p = 2;
-    h.run(p, |tid, ctx| gauss::init_owned_rows(ctx, &lay, &cfg, tid, p));
-    let (_, run) = h.run(p, |tid, ctx| gauss::run_shared(ctx, &lay, &cfg, &ec, tid, p));
+    h.run(p, |tid, ctx| {
+        gauss::init_owned_rows(ctx, &lay, &cfg, tid, p)
+    });
+    let (_, run) = h.run(p, |tid, ctx| {
+        gauss::run_shared(ctx, &lay, &cfg, &ec, tid, p)
+    });
     for w in &run.workers {
         let c = &w.counters;
         println!(
@@ -29,4 +43,5 @@ fn main() {
             c.local_atomics, c.remote_atomics, c.block_transfers, c.faults,
         );
     }
+    platinum_bench::trace_out::finish(sink);
 }

@@ -14,10 +14,11 @@
 use platinum_analysis::report::{ascii_chart, Series, Table};
 use platinum_apps::gauss::GaussConfig;
 use platinum_apps::harness::{run_gauss, GaussStyle, PolicyKind};
-use platinum_bench::Args;
+use platinum_bench::{Args, TraceSink};
 
 fn main() {
     let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     let quick = args.flag("--quick");
     let n = args.get_or("--n", if quick { 400 } else { 800 });
     let max_procs = args.get_or("--max-procs", 16usize);
@@ -108,7 +109,10 @@ fn main() {
     // coherent memory performs close to hand-tuned message passing and
     // far better than static placement — is about the absolute times).
     let best_serial = results.iter().map(|r| r[0].1).min().unwrap();
-    println!("{:<26} {:>12} {:>14} {:>18}", "system", "T(max p) ms", "self speedup", "vs best serial");
+    println!(
+        "{:<26} {:>12} {:>14} {:>18}",
+        "system", "T(max p) ms", "self speedup", "vs best serial"
+    );
     for (si, style) in styles.iter().enumerate() {
         let last = results[si].last().unwrap();
         let s = results[si][0].1 as f64 / last.1 as f64;
@@ -121,6 +125,9 @@ fn main() {
             sb
         );
     }
-    println!("
-paper (16 processors): PLATINUM 13.5, Uniform System 10.6, SMP 15.3");
+    println!(
+        "
+paper (16 processors): PLATINUM 13.5, Uniform System 10.6, SMP 15.3"
+    );
+    platinum_bench::trace_out::finish(sink);
 }

@@ -14,10 +14,11 @@
 use platinum_analysis::report::{ascii_chart, Series, Table};
 use platinum_apps::harness::{run_mergesort_platinum, run_mergesort_uma};
 use platinum_apps::mergesort::SortConfig;
-use platinum_bench::Args;
+use platinum_bench::{Args, TraceSink};
 
 fn main() {
     let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     let n = args.get_or("--n", 1usize << 18);
     let max_procs = args.get_or("--max-procs", 16usize);
     let procs: Vec<usize> = [1usize, 2, 4, 8, 16]
@@ -63,7 +64,10 @@ fn main() {
         eprintln!("  p={p:>2} done");
     }
     println!("{table}");
-    println!("{}", ascii_chart(&[plat_series.clone(), uma_series.clone()], 60, 14));
+    println!(
+        "{}",
+        ascii_chart(&[plat_series.clone(), uma_series.clone()], 60, 14)
+    );
     if let Some(path) = args.get::<String>("--json") {
         let artifact = platinum_analysis::report::json::series_artifact(
             "fig5_mergesort",
@@ -80,4 +84,5 @@ fn main() {
     } else {
         println!("shape check FAILED: expected PLATINUM above the UMA comparator");
     }
+    platinum_bench::trace_out::finish(sink);
 }

@@ -14,10 +14,11 @@
 use platinum_analysis::report::{ascii_chart, Series, Table};
 use platinum_apps::harness::run_neural;
 use platinum_apps::neural::NeuralConfig;
-use platinum_bench::Args;
+use platinum_bench::{Args, TraceSink};
 
 fn main() {
     let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     let max_procs = args.get_or("--max-procs", 10usize);
     let cfg = NeuralConfig {
         epochs: args.get_or("--epochs", 40usize),
@@ -27,7 +28,13 @@ fn main() {
     println!("Figure 6: recurrent backpropagation simulator (40 units, 16 patterns)");
     println!("paper: linear speedup, slope ~1/2 per incremental processor\n");
 
-    let mut table = Table::new(vec!["p", "time ms", "speedup", "frozen pages", "remote frac"]);
+    let mut table = Table::new(vec![
+        "p",
+        "time ms",
+        "speedup",
+        "frozen pages",
+        "remote frac",
+    ]);
     let mut series = Series::new("recurrent backprop");
     let mut t1 = 0u64;
     let mut speedups = Vec::new();
@@ -52,8 +59,7 @@ fn main() {
     println!("{table}");
     println!("{}", ascii_chart(&[series.clone()], 60, 14));
     if let Some(path) = args.get::<String>("--json") {
-        let artifact =
-            platinum_analysis::report::json::series_artifact("fig6_neural", &[series]);
+        let artifact = platinum_analysis::report::json::series_artifact("fig6_neural", &[series]);
         std::fs::write(&path, artifact).expect("write json artifact");
         eprintln!("wrote {path}");
     }
@@ -67,4 +73,5 @@ fn main() {
     let sxy: f64 = speedups.iter().map(|(x, y)| x * y).sum();
     let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
     println!("incremental-processor contribution (slope): {slope:.2}  (paper: ~0.5)");
+    platinum_bench::trace_out::finish(sink);
 }

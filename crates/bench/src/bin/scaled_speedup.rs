@@ -19,10 +19,11 @@
 use platinum_analysis::report::Table;
 use platinum_apps::gauss::GaussConfig;
 use platinum_apps::harness::{run_gauss, GaussStyle, PolicyKind};
-use platinum_bench::Args;
+use platinum_bench::{Args, TraceSink};
 
 fn main() {
     let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     let base_n = args.get_or("--base-n", 128usize);
     let max_procs = args.get_or("--max-procs", 8usize);
 
@@ -41,8 +42,13 @@ fn main() {
         n: base_n,
         ..Default::default()
     };
-    let t1_fixed = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), max_procs, 1, &fixed_cfg)
-        .elapsed_ns as f64;
+    let t1_fixed = run_gauss(
+        GaussStyle::Shared(PolicyKind::Platinum),
+        max_procs,
+        1,
+        &fixed_cfg,
+    )
+    .elapsed_ns as f64;
 
     let mut ps = vec![1usize];
     let mut p = 2;
@@ -52,8 +58,13 @@ fn main() {
     }
     for &p in &ps {
         // Fixed-size efficiency: T1 / (p * Tp).
-        let tp = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), max_procs, p, &fixed_cfg)
-            .elapsed_ns as f64;
+        let tp = run_gauss(
+            GaussStyle::Shared(PolicyKind::Platinum),
+            max_procs,
+            p,
+            &fixed_cfg,
+        )
+        .elapsed_ns as f64;
         let fixed_eff = t1_fixed / (p as f64 * tp) * 100.0;
 
         // Scaled: total work ~ n^3 grows with p, so n(p) = base_n * p^(1/3);
@@ -63,12 +74,20 @@ fn main() {
             n: n_scaled,
             ..Default::default()
         };
-        let tp_scaled =
-            run_gauss(GaussStyle::Shared(PolicyKind::Platinum), max_procs, p, &scaled_cfg)
-                .elapsed_ns as f64;
-        let t1_scaled =
-            run_gauss(GaussStyle::Shared(PolicyKind::Platinum), max_procs, 1, &scaled_cfg)
-                .elapsed_ns as f64;
+        let tp_scaled = run_gauss(
+            GaussStyle::Shared(PolicyKind::Platinum),
+            max_procs,
+            p,
+            &scaled_cfg,
+        )
+        .elapsed_ns as f64;
+        let t1_scaled = run_gauss(
+            GaussStyle::Shared(PolicyKind::Platinum),
+            max_procs,
+            1,
+            &scaled_cfg,
+        )
+        .elapsed_ns as f64;
         let scaled_eff = t1_scaled / (p as f64 * tp_scaled) * 100.0;
 
         table.row(vec![
@@ -85,4 +104,5 @@ fn main() {
         "scaled efficiency should decay more slowly than fixed-size efficiency:\n\
          growing problems keep the data-access granularity coarse (§4.1)."
     );
+    platinum_bench::trace_out::finish(sink);
 }

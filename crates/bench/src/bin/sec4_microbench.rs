@@ -18,8 +18,11 @@
 use numa_machine::{Machine, MachineConfig, Mem, ProcCore};
 use platinum_analysis::report::Table;
 use platinum_bench::micro::{vcost, MicroBench};
+use platinum_bench::{Args, TraceSink};
 
 fn main() {
+    let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     println!("Section 4: basic operation costs (16-node machine)\n");
 
     block_transfer();
@@ -27,6 +30,7 @@ fn main() {
     read_miss_modified();
     write_miss_present_plus();
     incremental_shootdown();
+    platinum_bench::trace_out::finish(sink);
 }
 
 fn block_transfer() {
@@ -86,9 +90,7 @@ fn read_miss_non_modified() {
     let mb = MicroBench::new(false);
     let space2 = mb.kernel.create_space(); // AsId 1 -> home 1
     let object = mb.kernel.create_object_homed(1, 1);
-    let va = space2
-        .map_anywhere(object, platinum::Rights::RW)
-        .unwrap();
+    let va = space2.map_anywhere(object, platinum::Rights::RW).unwrap();
     {
         let mut c1 = mb
             .kernel

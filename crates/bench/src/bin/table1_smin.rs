@@ -10,10 +10,11 @@
 
 use platinum_analysis::model::{table1, CostModel, TABLE1_GS};
 use platinum_analysis::report::Table;
-use platinum_bench::Args;
+use platinum_bench::{Args, TraceSink};
 
 fn main() {
     let args = Args::parse();
+    let sink = TraceSink::from_args(&args);
     let model = if args.flag("--raw") {
         let mut m = CostModel::paper();
         if let Some(f) = args.get::<f64>("--overhead-ns") {
@@ -52,4 +53,5 @@ fn main() {
     println!("{t}");
     println!("paper prints 435 at (rho=0.48, g=1); 107/(0.48-0.24) = 445.8,");
     println!("matching the 445 it prints at (rho=0.24, g=0.5) — a suspected typo.");
+    platinum_bench::trace_out::finish(sink);
 }

@@ -1,0 +1,91 @@
+//! Replays the §4.2 frozen-page anecdote with the tracer attached and
+//! prints the diagnosis the paper's post-mortem report made possible —
+//! this time from the event timeline rather than aggregate counters.
+//!
+//! The run uses the accidental co-located layout (barrier words sharing
+//! a page with the matrix-size variable) and the thawing kernel (t2 =
+//! 1 s). The report shows, for the frozen page:
+//!
+//!   * the freeze itself (and how stale the page's invalidation history
+//!     was when the policy pulled the trigger),
+//!   * the remote-mapped faults piling up while the page stayed frozen —
+//!     each one a remote reference in some processor's inner loop,
+//!   * the defrost daemon's thaw ending the span.
+//!
+//! Usage:
+//!   trace_report [--n 120] [--procs 8] [--trace out.json]
+//!
+//! `--trace` additionally writes the full Chrome JSON for Perfetto.
+
+use platinum::trace::timeline::{frozen_spans, page_timeline};
+use platinum::trace::{chrome, EventKind, TraceConfig};
+use platinum_apps::gauss::GaussConfig;
+use platinum_apps::harness::run_gauss_anecdote;
+use platinum_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_or("--n", 120usize);
+    let p = args.get_or("--procs", 8usize);
+    let tracer = platinum::trace::install_global(TraceConfig::default());
+
+    println!("Section 4.2 anecdote under the tracer ({n}x{n} elimination, p={p})\n");
+    let cfg = GaussConfig {
+        n,
+        ..Default::default()
+    };
+    let run = run_gauss_anecdote(16.max(p), p, &cfg, true, 1_000_000_000);
+    let trace = tracer.snapshot();
+
+    println!(
+        "run: {:.1} ms, {} events traced ({} dropped)\n",
+        run.elapsed_ns as f64 / 1e6,
+        trace.events.len(),
+        trace.dropped
+    );
+    println!("event totals:");
+    for kind in EventKind::ALL {
+        let c = trace.count(kind);
+        if c > 0 {
+            println!("  {:<16} {:>8}", kind.name(), c);
+        }
+    }
+    println!();
+
+    // The diagnosis: the page with the longest frozen exposure.
+    let mut frozen_pages: Vec<(u64, usize)> = trace
+        .of_kind(EventKind::Freeze)
+        .map(|e| e.page)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|page| {
+            let remote: usize = frozen_spans(&trace, page)
+                .iter()
+                .map(|s| s.remote_maps_while_frozen)
+                .sum();
+            (page, remote)
+        })
+        .collect();
+    frozen_pages.sort_by_key(|&(_, remote)| std::cmp::Reverse(remote));
+
+    match frozen_pages.first() {
+        Some(&(page, remote)) => {
+            println!(
+                "hottest frozen page: cpage {page} ({remote} remote-mapped faults while frozen)\n"
+            );
+            print!("{}", page_timeline(&trace, page));
+            println!(
+                "\ndiagnosis: every remote-mapped fault above is a processor taking a remote\n\
+                 reference in its inner loop because the page was frozen — the paper's\n\
+                 bottleneck, visible directly on the timeline."
+            );
+        }
+        None => println!("no page froze during this run (try a larger --procs)"),
+    }
+
+    if let Some(path) = args.get::<String>("--trace") {
+        let json = chrome::chrome_trace_string(&trace);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nchrome trace written to {path} (load at https://ui.perfetto.dev)");
+    }
+}

@@ -11,5 +11,7 @@
 
 pub mod args;
 pub mod micro;
+pub mod trace_out;
 
 pub use args::Args;
+pub use trace_out::TraceSink;

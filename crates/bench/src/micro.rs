@@ -12,7 +12,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use numa_machine::{Machine, MachineConfig, Mem, Va};
-use platinum::{AddressSpace, Kernel, KernelConfig, PlatinumPolicy, Rights, ShootdownMode, UserCtx};
+use platinum::{
+    AddressSpace, Kernel, KernelConfig, PlatinumPolicy, Rights, ShootdownMode, UserCtx,
+};
 
 /// A booted 16-node machine + kernel + space + one mapped page, the §4
 /// measurement fixture.
@@ -48,11 +50,7 @@ impl MicroBench {
         if mach_mode {
             cfg.shootdown = ShootdownMode::SharedPmapStall;
         }
-        let kernel = Kernel::with_config(
-            machine,
-            Box::new(PlatinumPolicy::paper_default()),
-            cfg,
-        );
+        let kernel = Kernel::with_config(machine, Box::new(PlatinumPolicy::paper_default()), cfg);
         let space = kernel.create_space();
         let object = kernel.create_object(4);
         let va = space

@@ -1,0 +1,73 @@
+//! `--trace <path>` support shared by the figure binaries.
+//!
+//! Every benchmark binary accepts `--trace out.json`; when present, a
+//! process-global tracer is installed *before* any machine boots (kernels
+//! pick it up automatically) and a Chrome `trace_event` JSON file is
+//! written at the end of the run, loadable in Perfetto
+//! (<https://ui.perfetto.dev>). Binaries that run several configurations
+//! mark each one as a tracer phase so the exported file groups them.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use platinum::trace::{chrome, TraceConfig, Tracer};
+
+use crate::args::Args;
+
+/// An installed tracer plus the path the trace will be written to.
+pub struct TraceSink {
+    tracer: Arc<Tracer>,
+    path: PathBuf,
+}
+
+impl TraceSink {
+    /// Installs the process-global tracer if `--trace <path>` was given.
+    ///
+    /// Call this before booting any machine: machines created earlier
+    /// never see the tracer.
+    pub fn from_args(args: &Args) -> Option<TraceSink> {
+        let path: String = args.get("--trace")?;
+        let tracer = platinum::trace::install_global(TraceConfig::default());
+        Some(TraceSink {
+            tracer,
+            path: PathBuf::from(path),
+        })
+    }
+
+    /// Marks the start of a named configuration/phase in the trace.
+    pub fn phase(&self, name: &str) {
+        self.tracer.begin_phase(name);
+    }
+
+    /// The underlying tracer (for binaries that post-process the trace
+    /// before writing it).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Snapshots the trace and writes the Chrome JSON file.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written — a benchmark run whose
+    /// requested artifact silently vanishes is worse than a crash.
+    pub fn finish(self) {
+        let trace = self.tracer.snapshot();
+        let json = chrome::chrome_trace_string(&trace);
+        std::fs::write(&self.path, json)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", self.path.display()));
+        eprintln!(
+            "trace: {} events ({} dropped) -> {}",
+            trace.events.len(),
+            trace.dropped,
+            self.path.display()
+        );
+    }
+}
+
+/// Convenience for `main` epilogues: finish the sink if one was set up.
+pub fn finish(sink: Option<TraceSink>) {
+    if let Some(s) = sink {
+        s.finish();
+    }
+}

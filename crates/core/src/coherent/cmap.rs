@@ -189,7 +189,11 @@ impl Cmap {
 
     /// Number of unacknowledged messages (tests and reporting).
     pub fn queue_len(&self) -> usize {
-        self.queue.lock().iter().filter(|m| m.pending() != 0).count()
+        self.queue
+            .lock()
+            .iter()
+            .filter(|m| m.pending() != 0)
+            .count()
     }
 }
 

@@ -109,7 +109,10 @@ impl CpageInner {
 
     /// The copy on `module`, if any.
     pub fn copy_on(&self, module: usize) -> Option<PhysPage> {
-        self.copies.iter().copied().find(|pp| pp.module_id() == module)
+        self.copies
+            .iter()
+            .copied()
+            .find(|pp| pp.module_id() == module)
     }
 
     /// Adds `pp` to the directory.
@@ -353,7 +356,10 @@ mod tests {
         g.check_invariants().unwrap();
 
         g.state = CpState::Modified;
-        assert!(g.check_invariants().is_err(), "modified needs exactly 1 copy");
+        assert!(
+            g.check_invariants().is_err(),
+            "modified needs exactly 1 copy"
+        );
         g.remove_copy_on(1);
         g.writer_mask = 1;
         g.check_invariants().unwrap();

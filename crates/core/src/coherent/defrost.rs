@@ -17,13 +17,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use numa_machine::Va;
+use platinum_trace::EventKind;
 
 use crate::coherent::cmap::Directive;
 use crate::coherent::cpage::CpState;
 use crate::error::{KernelError, Result};
 use crate::ids::CpageId;
 use crate::kernel::Kernel;
-use crate::stats::KernelStats;
 use crate::user::UserCtx;
 
 /// The defrost daemon's state: the frozen-page list and the next
@@ -89,28 +89,42 @@ impl Kernel {
     /// Unconditionally runs one defrost pass: thaws every enrolled page
     /// by invalidating all mappings to it.
     pub fn run_defrost(&self, ctx: &mut UserCtx) {
-        KernelStats::bump(&self.stats.defrost_runs);
         ctx.core.charge(self.config().costs.defrost_run_ns);
-        for id in self.defrost.take() {
-            self.thaw_cpage(ctx, id);
+        let list = self.defrost.take();
+        let examined = list.len() as u64;
+        let mut thawed = 0u64;
+        for id in list {
+            if self.thaw_cpage(ctx, id) {
+                thawed += 1;
+            }
         }
+        self.record(
+            ctx.core.id(),
+            ctx.core.vtime(),
+            EventKind::DefrostRun,
+            0,
+            examined,
+            thawed,
+        );
     }
 
     /// Thaws one coherent page: invalidates every translation so the next
-    /// access faults and the policy can decide afresh.
-    pub(crate) fn thaw_cpage(&self, ctx: &mut UserCtx, id: CpageId) {
+    /// access faults and the policy can decide afresh. Returns whether
+    /// the page was actually thawed (it may have been thawed by other
+    /// means since enrollment).
+    pub(crate) fn thaw_cpage(&self, ctx: &mut UserCtx, id: CpageId) -> bool {
         let Some(cpage) = self.cpages.get(id) else {
-            return;
+            return false;
         };
         let mut g = self.lock_cpage(ctx, &cpage);
         if !g.frozen {
             // Thawed by other means (migration under the thaw-on-access
             // variant, explicit thaw) since enrollment.
-            return;
+            return false;
         }
         debug_assert_eq!(g.state, CpState::Modified, "frozen implies modified");
         // Invalidate all mappings, the initiator's included.
-        self.shootdown(ctx, &mut g, Directive::Invalidate, u64::MAX);
+        self.shootdown(ctx, id, &mut g, Directive::Invalidate, u64::MAX);
         let me = ctx.core.id();
         for &(as_id, vpn) in &g.bindings {
             if ctx.space().id() == as_id && ctx.pmap.remove(as_id, vpn).is_some() {
@@ -131,8 +145,9 @@ impl Kernel {
         // the next fault consults the policy with the old invalidation
         // history (thawing itself is not an invalidation).
         g.state = CpState::Present1;
-        KernelStats::bump(&self.stats.thaws);
+        self.record(me, ctx.core.vtime(), EventKind::Thaw, 0, id.0, 0);
         debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+        true
     }
 
     /// Explicitly thaws the page backing `va` in `ctx`'s address space —
@@ -140,11 +155,9 @@ impl Kernel {
     /// support (§4.2).
     pub(crate) fn thaw_va(&self, ctx: &mut UserCtx, va: Va) -> Result<()> {
         let vpn = ctx.space().vpn_of(va);
-        let entry = ctx
-            .space()
-            .cmap()
-            .entry(vpn)
-            .ok_or(KernelError::Access(numa_machine::AccessErr::NoTranslation(va)))?;
+        let entry = ctx.space().cmap().entry(vpn).ok_or(KernelError::Access(
+            numa_machine::AccessErr::NoTranslation(va),
+        ))?;
         self.thaw_cpage(ctx, entry.cpage);
         Ok(())
     }

@@ -8,14 +8,24 @@
 use std::sync::Arc;
 
 use numa_machine::{AccessErr, AccessKind, PhysPage, Va};
+use platinum_trace::{EventKind, FaultResolution};
 
 use crate::coherent::cmap::{CmapEntry, Directive};
 use crate::coherent::cpage::{CpState, Cpage, CpageInner};
 use crate::coherent::policy::{FaultAction, FaultInfo};
 use crate::error::{KernelError, Result};
+use crate::ids::CpageId;
 use crate::kernel::Kernel;
-use crate::stats::KernelStats;
 use crate::user::UserCtx;
+
+/// Encodes a policy decision for the `PolicyDecision` event's code byte.
+fn action_code(action: FaultAction) -> u8 {
+    match action {
+        FaultAction::Replicate => 0,
+        FaultAction::RemoteMap { freeze: false } => 1,
+        FaultAction::RemoteMap { freeze: true } => 2,
+    }
+}
 
 impl Kernel {
     /// Handles a coherent-memory fault at `va` on `ctx`'s processor.
@@ -26,9 +36,17 @@ impl Kernel {
     /// virtual-memory level / out of physical memory).
     pub(crate) fn coherent_fault(&self, ctx: &mut UserCtx, va: Va, write: bool) -> Result<()> {
         let costs = self.config().costs.clone();
+        let begin = ctx.core.vtime();
         ctx.core.charge(costs.fault_fixed_ns);
         ctx.core.counters_mut().faults += 1;
-        KernelStats::bump(&self.stats.faults);
+        self.record(
+            ctx.core.id(),
+            begin,
+            EventKind::FaultBegin,
+            u8::from(write),
+            va,
+            0,
+        );
         // A fault is a kernel entry: give the defrost daemon its chance
         // to run (its clock interrupt, in the paper's terms) before any
         // page locks are taken.
@@ -62,11 +80,25 @@ impl Kernel {
         g.faults += 1;
         self.charge_refs(ctx, cpage.home(), costs.cpage_touch_refs);
 
-        if write {
-            self.write_fault(ctx, &cpage, &mut g, &entry, vpn)
+        let resolution = if write {
+            self.write_fault(ctx, &cpage, &mut g, &entry, vpn)?
         } else {
-            self.read_fault(ctx, &cpage, &mut g, &entry, vpn)
-        }
+            self.read_fault(ctx, &cpage, &mut g, &entry, vpn)?
+        };
+        drop(g);
+        // The FaultEnd carries the begin time, so an exporter can render
+        // the fault as an interval on the processor's track. Error paths
+        // (protection, out of memory) leave the interval open: the
+        // thread is dead, not resumed.
+        self.record(
+            ctx.core.id(),
+            ctx.core.vtime(),
+            EventKind::FaultEnd,
+            resolution as u8,
+            cpage.id().0,
+            begin,
+        );
+        Ok(())
     }
 
     /// The virtual-memory layer: resolves `va` to a region, creates the
@@ -74,16 +106,24 @@ impl Kernel {
     fn vm_fault(&self, ctx: &mut UserCtx, va: Va) -> Result<Arc<CmapEntry>> {
         let costs = self.config().costs.clone();
         ctx.core.charge(costs.vm_fault_ns);
-        KernelStats::bump(&self.stats.vm_faults);
+        self.record(
+            ctx.core.id(),
+            ctx.core.vtime(),
+            EventKind::VmFault,
+            0,
+            va,
+            0,
+        );
         let space = Arc::clone(ctx.space());
         let vpn = space.vpn_of(va);
         let region = space
             .region_for(vpn)
             .ok_or(KernelError::Access(AccessErr::BusError(va)))?;
         // First touch homes the page's metadata on the touching node.
-        let cpage_id = region
-            .object
-            .cpage_for(region.object_page(vpn), &self.cpages, ctx.core.id());
+        let cpage_id =
+            region
+                .object
+                .cpage_for(region.object_page(vpn), &self.cpages, ctx.core.id());
         let entry = space
             .cmap()
             .insert(vpn, CmapEntry::new(cpage_id, region.rights));
@@ -109,7 +149,7 @@ impl Kernel {
         g: &mut CpageInner,
         entry: &CmapEntry,
         vpn: u64,
-    ) -> Result<()> {
+    ) -> Result<FaultResolution> {
         let me = ctx.core.id();
 
         // A local physical copy may already exist (the page can be shared
@@ -118,7 +158,7 @@ impl Kernel {
         if g.has_copy_on(me) {
             let pp = self.ipt_find(ctx, me, cpage)?;
             self.map_page(ctx, entry, vpn, pp, false, g);
-            return Ok(());
+            return Ok(FaultResolution::LocalHit);
         }
 
         match g.state {
@@ -129,7 +169,7 @@ impl Kernel {
                 g.add_copy(pp);
                 g.state = CpState::Present1;
                 self.map_page(ctx, entry, vpn, pp, false, g);
-                Ok(())
+                Ok(FaultResolution::FirstTouch)
             }
             CpState::Present1 | CpState::PresentPlus | CpState::Modified => {
                 let info = FaultInfo {
@@ -140,19 +180,45 @@ impl Kernel {
                     state: g.state,
                     write: false,
                 };
-                match self.policy().decide(&info) {
+                let action = self.policy().decide(&info);
+                self.record_decision(ctx, cpage.id(), &info, action);
+                match action {
                     FaultAction::Replicate => self.replicate_here(ctx, cpage, g, entry, vpn),
                     FaultAction::RemoteMap { freeze } => {
                         let pp = g.copies[0];
                         self.freeze_if_needed(ctx, cpage, g, freeze);
                         g.remote_map_mask |= 1u64 << me;
-                        KernelStats::bump(&self.stats.remote_maps);
+                        self.record(
+                            me,
+                            ctx.core.vtime(),
+                            EventKind::RemoteMap,
+                            0,
+                            cpage.id().0,
+                            pp.module_id() as u64,
+                        );
                         self.map_page(ctx, entry, vpn, pp, false, g);
-                        Ok(())
+                        Ok(FaultResolution::RemoteMapped)
                     }
                 }
             }
         }
+    }
+
+    /// Records the `PolicyDecision` event: which action the policy chose
+    /// and (in `arg`) the age of the interference history it consulted.
+    fn record_decision(&self, ctx: &UserCtx, page: CpageId, info: &FaultInfo, action: FaultAction) {
+        let age = info
+            .last_invalidation
+            .map(|t| info.now.saturating_sub(t))
+            .unwrap_or(u64::MAX);
+        self.record(
+            ctx.core.id(),
+            info.now,
+            EventKind::PolicyDecision,
+            action_code(action),
+            page.0,
+            age,
+        );
     }
 
     /// Replicates the page onto the faulting processor's node for a read:
@@ -165,7 +231,7 @@ impl Kernel {
         g: &mut CpageInner,
         entry: &CmapEntry,
         vpn: u64,
-    ) -> Result<()> {
+    ) -> Result<FaultResolution> {
         let me = ctx.core.id();
         if g.state == CpState::Modified {
             // "The handler uses the shootdown mechanism to restrict all
@@ -173,7 +239,7 @@ impl Kernel {
             // access" (§3.3).
             let writers = g.writer_mask & !(1u64 << me);
             if writers != 0 {
-                self.shootdown(ctx, g, Directive::RestrictToRead, writers);
+                self.shootdown(ctx, cpage.id(), g, Directive::RestrictToRead, writers);
             }
             // Restrict own writable mapping, if any.
             ctx.pmap.restrict_to_read(ctx.space().id(), vpn);
@@ -183,10 +249,11 @@ impl Kernel {
             g.state = CpState::Present1;
         }
         if g.frozen {
-            // Thaw-on-access variant of the policy.
+            // Thaw-on-access variant of the policy (code 1 = thawed by an
+            // access rather than by the defrost daemon).
             g.frozen = false;
             g.thaws += 1;
-            KernelStats::bump(&self.stats.thaws);
+            self.record(me, ctx.core.vtime(), EventKind::Thaw, 1, cpage.id().0, 0);
         }
         // "The handler then performs a block transfer from another
         // physical copy" (§3.3) — any copy. Spreading requesters across
@@ -204,9 +271,16 @@ impl Kernel {
             CpState::Present1
         };
         g.replications += 1;
-        KernelStats::bump(&self.stats.replications);
+        self.record(
+            me,
+            ctx.core.vtime(),
+            EventKind::Replicate,
+            0,
+            cpage.id().0,
+            src.module_id() as u64,
+        );
         self.map_page(ctx, entry, vpn, pp, false, g);
-        Ok(())
+        Ok(FaultResolution::Replicated)
     }
 
     // ------------------------------------------------------------------
@@ -220,7 +294,7 @@ impl Kernel {
         g: &mut CpageInner,
         entry: &CmapEntry,
         vpn: u64,
-    ) -> Result<()> {
+    ) -> Result<FaultResolution> {
         let me = ctx.core.id();
         let my_bit = 1u64 << me;
 
@@ -229,25 +303,32 @@ impl Kernel {
                 CpState::Empty => unreachable!("empty state cannot have copies"),
                 CpState::Modified => {
                     self.map_page(ctx, entry, vpn, local_pp, true, g);
-                    Ok(())
+                    Ok(FaultResolution::LocalHit)
                 }
                 CpState::Present1 => {
                     // "The transition from present1 to modified requires
                     // neither [an invalidation nor a reclamation]" (§3.2).
                     g.state = CpState::Modified;
                     self.map_page(ctx, entry, vpn, local_pp, true, g);
-                    Ok(())
+                    Ok(FaultResolution::LocalHit)
                 }
                 CpState::PresentPlus => {
                     // Local copy survives; invalidate and reclaim every
                     // other replica (§3.3).
                     let dying = g.copies_mask & !my_bit;
-                    self.invalidate_copies(ctx, g, dying)?;
+                    self.invalidate_copies(ctx, cpage.id(), g, dying)?;
                     g.state = CpState::Modified;
                     g.last_invalidation = Some(ctx.core.vtime());
-                    KernelStats::bump(&self.stats.invalidations);
+                    self.record(
+                        me,
+                        ctx.core.vtime(),
+                        EventKind::Invalidate,
+                        0,
+                        cpage.id().0,
+                        me as u64,
+                    );
                     self.map_page(ctx, entry, vpn, local_pp, true, g);
-                    Ok(())
+                    Ok(FaultResolution::LocalHit)
                 }
             };
         }
@@ -259,7 +340,7 @@ impl Kernel {
             g.add_copy(pp);
             g.state = CpState::Modified;
             self.map_page(ctx, entry, vpn, pp, true, g);
-            return Ok(());
+            return Ok(FaultResolution::FirstTouch);
         }
 
         let info = FaultInfo {
@@ -270,7 +351,9 @@ impl Kernel {
             state: g.state,
             write: true,
         };
-        match self.policy().decide(&info) {
+        let action = self.policy().decide(&info);
+        self.record_decision(ctx, cpage.id(), &info, action);
+        match action {
             FaultAction::Replicate => self.migrate_here(ctx, cpage, g, entry, vpn),
             FaultAction::RemoteMap { freeze } => {
                 // Write through a remote mapping. If the page is
@@ -278,17 +361,31 @@ impl Kernel {
                 if g.state == CpState::PresentPlus {
                     let survivor = g.copies[0];
                     let dying = g.copies_mask & !(1u64 << survivor.module_id());
-                    self.invalidate_copies(ctx, g, dying)?;
+                    self.invalidate_copies(ctx, cpage.id(), g, dying)?;
                     g.last_invalidation = Some(ctx.core.vtime());
-                    KernelStats::bump(&self.stats.invalidations);
+                    self.record(
+                        me,
+                        ctx.core.vtime(),
+                        EventKind::Invalidate,
+                        0,
+                        cpage.id().0,
+                        survivor.module_id() as u64,
+                    );
                 }
                 let pp = g.copies[0];
                 g.state = CpState::Modified;
                 self.freeze_if_needed(ctx, cpage, g, freeze);
                 g.remote_map_mask |= my_bit;
-                KernelStats::bump(&self.stats.remote_maps);
+                self.record(
+                    me,
+                    ctx.core.vtime(),
+                    EventKind::RemoteMap,
+                    1,
+                    cpage.id().0,
+                    pp.module_id() as u64,
+                );
                 self.map_page(ctx, entry, vpn, pp, true, g);
-                Ok(())
+                Ok(FaultResolution::RemoteMapped)
             }
         }
     }
@@ -303,7 +400,7 @@ impl Kernel {
         g: &mut CpageInner,
         entry: &CmapEntry,
         vpn: u64,
-    ) -> Result<()> {
+    ) -> Result<FaultResolution> {
         let me = ctx.core.id();
         let my_bit = 1u64 << me;
         // Copy first (sources are stable: either read-only replicas or a
@@ -314,13 +411,13 @@ impl Kernel {
         let pp = self.alloc_frame(ctx, me, cpage)?;
         // Invalidate every translation to the old copies, ours included.
         let dying = g.copies_mask;
-        self.shootdown(ctx, g, Directive::Invalidate, !my_bit);
+        self.shootdown(ctx, cpage.id(), g, Directive::Invalidate, !my_bit);
         if ctx.pmap.remove(ctx.space().id(), vpn).is_some() {
             let asid = ctx.space().asid();
-                ctx.core.atc().invalidate(asid, vpn);
+            ctx.core.atc().invalidate(asid, vpn);
         }
         ctx.core.block_transfer(src, pp);
-        self.reclaim_copies(ctx, g, dying)?;
+        self.reclaim_copies(ctx, cpage.id(), g, dying)?;
         g.writer_mask = 0;
         g.remote_map_mask = 0;
         g.add_copy(pp);
@@ -330,28 +427,54 @@ impl Kernel {
         if g.frozen {
             g.frozen = false;
             g.thaws += 1;
-            KernelStats::bump(&self.stats.thaws);
+            self.record(me, ctx.core.vtime(), EventKind::Thaw, 1, cpage.id().0, 0);
         }
-        KernelStats::bump(&self.stats.migrations);
-        KernelStats::bump(&self.stats.invalidations);
+        self.record(
+            me,
+            ctx.core.vtime(),
+            EventKind::Migrate,
+            0,
+            cpage.id().0,
+            src.module_id() as u64,
+        );
+        self.record(
+            me,
+            ctx.core.vtime(),
+            EventKind::Invalidate,
+            0,
+            cpage.id().0,
+            me as u64,
+        );
         self.map_page(ctx, entry, vpn, pp, true, g);
-        Ok(())
+        Ok(FaultResolution::Migrated)
     }
 
     /// Invalidates the translations pointing into `dying` (a module mask)
     /// and reclaims those frames. Translations to surviving copies are
     /// left alone thanks to the module-selective directive.
-    fn invalidate_copies(&self, ctx: &mut UserCtx, g: &mut CpageInner, dying: u64) -> Result<()> {
+    fn invalidate_copies(
+        &self,
+        ctx: &mut UserCtx,
+        page: CpageId,
+        g: &mut CpageInner,
+        dying: u64,
+    ) -> Result<()> {
         // Target processors on the dying modules plus any processor known
         // to hold a remote mapping (§3.1: the target set "is restricted to
         // those that are actually using a mapping for this Cpage").
         let filter = dying | g.remote_map_mask;
-        self.shootdown(ctx, g, Directive::InvalidateModules(dying), filter);
-        self.reclaim_copies(ctx, g, dying)
+        self.shootdown(ctx, page, g, Directive::InvalidateModules(dying), filter);
+        self.reclaim_copies(ctx, page, g, dying)
     }
 
     /// Frees every directory copy on the modules in `mask`.
-    fn reclaim_copies(&self, ctx: &mut UserCtx, g: &mut CpageInner, mask: u64) -> Result<()> {
+    fn reclaim_copies(
+        &self,
+        ctx: &mut UserCtx,
+        page: CpageId,
+        g: &mut CpageInner,
+        mask: u64,
+    ) -> Result<()> {
         let dying: Vec<PhysPage> = g
             .copies
             .iter()
@@ -362,12 +485,20 @@ impl Kernel {
             g.remove_copy_on(pp.module_id());
             // "Freeing a physical page uses one remote memory read and one
             // write" (§4).
-            ctx.core
-                .charge_kernel_ref(pp.module_id(), AccessKind::Read);
+            ctx.core.charge_kernel_ref(pp.module_id(), AccessKind::Read);
             ctx.core
                 .charge_kernel_ref(pp.module_id(), AccessKind::Write);
-            self.machine().module(pp.module_id()).free_frame(pp.frame_id());
-            KernelStats::bump(&self.stats.frames_freed);
+            self.machine()
+                .module(pp.module_id())
+                .free_frame(pp.frame_id());
+            self.record(
+                ctx.core.id(),
+                ctx.core.vtime(),
+                EventKind::FrameFree,
+                0,
+                page.0,
+                pp.module_id() as u64,
+            );
         }
         Ok(())
     }
@@ -375,11 +506,16 @@ impl Kernel {
     /// Marks the page frozen and enrolls it with the defrost daemon, when
     /// the policy asked for a freeze and the state allows it (a frozen
     /// page is always in the modified state, §4.2).
-    fn freeze_if_needed(&self, _ctx: &mut UserCtx, cpage: &Cpage, g: &mut CpageInner, freeze: bool) {
+    fn freeze_if_needed(&self, ctx: &mut UserCtx, cpage: &Cpage, g: &mut CpageInner, freeze: bool) {
         if freeze && !g.frozen && g.state == CpState::Modified {
             g.frozen = true;
             g.freezes += 1;
-            KernelStats::bump(&self.stats.freezes);
+            let now = ctx.core.vtime();
+            let age = g
+                .last_invalidation
+                .map(|t| now.saturating_sub(t))
+                .unwrap_or(u64::MAX);
+            self.record(ctx.core.id(), now, EventKind::Freeze, 0, cpage.id().0, age);
             self.defrost.enroll(cpage.id());
         }
     }
@@ -401,11 +537,8 @@ impl Kernel {
     ) {
         let me = ctx.core.id();
         self.charge_refs_local(ctx, self.config().costs.map_refs);
-        ctx.pmap.enter(
-            ctx.space.id(),
-            vpn,
-            crate::pmap::PmapEntry { pp, writable },
-        );
+        ctx.pmap
+            .enter(ctx.space.id(), vpn, crate::pmap::PmapEntry { pp, writable });
         ctx.core.atc().insert(ctx.space.asid(), vpn, pp, writable);
         entry.set_ref(me);
         if writable {
@@ -423,8 +556,11 @@ impl Kernel {
     /// searching the remote directory list).
     fn ipt_find(&self, ctx: &mut UserCtx, node: usize, cpage: &Cpage) -> Result<PhysPage> {
         let probe = self.machine().module(node).find_frame_of(cpage.id().0);
-        ctx.core
-            .charge_word_block(PhysPage::new(node, 0), AccessKind::Read, probe.probes as u64);
+        ctx.core.charge_word_block(
+            PhysPage::new(node, 0),
+            AccessKind::Read,
+            probe.probes as u64,
+        );
         probe
             .frame
             .map(|f| PhysPage::new(node, f))

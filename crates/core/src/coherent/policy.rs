@@ -216,7 +216,10 @@ mod tests {
     #[test]
     fn platinum_replicates_quiet_pages() {
         let p = PlatinumPolicy::paper_default();
-        assert_eq!(p.decide(&info(50_000_000, None, false)), FaultAction::Replicate);
+        assert_eq!(
+            p.decide(&info(50_000_000, None, false)),
+            FaultAction::Replicate
+        );
         // Invalidation 20 ms ago: outside t1 = 10 ms.
         assert_eq!(
             p.decide(&info(50_000_000, Some(30_000_000), false)),

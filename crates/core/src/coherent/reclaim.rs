@@ -13,13 +13,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use numa_machine::{AccessKind, Va};
+use platinum_trace::EventKind;
 
 use crate::coherent::cmap::Directive;
 use crate::coherent::cpage::CpState;
 use crate::error::{KernelError, Result};
-use crate::ids::ObjId;
+use crate::ids::{CpageId, ObjId};
 use crate::kernel::Kernel;
-use crate::stats::KernelStats;
 use crate::user::UserCtx;
 use crate::vm::object::MemoryObject;
 
@@ -47,9 +47,9 @@ impl Kernel {
     /// Returns [`KernelError::Access`] when no region starts at `va`.
     pub fn unmap(&self, ctx: &mut UserCtx, va: Va) -> Result<()> {
         let space = Arc::clone(ctx.space());
-        let region = space
-            .unmap_region(va)
-            .ok_or(KernelError::Access(numa_machine::AccessErr::NoTranslation(va)))?;
+        let region = space.unmap_region(va).ok_or(KernelError::Access(
+            numa_machine::AccessErr::NoTranslation(va),
+        ))?;
         let me = ctx.core.id();
         for off in 0..region.pages {
             let vpn = region.vpn_start + off as u64;
@@ -67,7 +67,14 @@ impl Kernel {
             // space's translations die.
             let targets = entry.refs() & !(1u64 << me);
             if targets != 0 {
-                self.shootdown_one_space(ctx, &space, vpn, Directive::Invalidate, targets);
+                self.shootdown_one_space(
+                    ctx,
+                    entry.cpage,
+                    &space,
+                    vpn,
+                    Directive::Invalidate,
+                    targets,
+                );
             }
             if ctx.pmap.remove(space.id(), vpn).is_some() {
                 let asid = space.asid();
@@ -105,9 +112,19 @@ impl Kernel {
             for pp in copies {
                 g.remove_copy_on(pp.module_id());
                 ctx.core.charge_kernel_ref(pp.module_id(), AccessKind::Read);
-                ctx.core.charge_kernel_ref(pp.module_id(), AccessKind::Write);
-                self.machine().module(pp.module_id()).free_frame(pp.frame_id());
-                KernelStats::bump(&self.stats.frames_freed);
+                ctx.core
+                    .charge_kernel_ref(pp.module_id(), AccessKind::Write);
+                self.machine()
+                    .module(pp.module_id())
+                    .free_frame(pp.frame_id());
+                self.record(
+                    ctx.core.id(),
+                    ctx.core.vtime(),
+                    EventKind::FrameFree,
+                    0,
+                    cpage_id.0,
+                    pp.module_id() as u64,
+                );
             }
             g.state = CpState::Empty;
             g.writer_mask = 0;
@@ -124,12 +141,7 @@ impl Kernel {
     /// invalidated and the next access re-faults to another copy.
     ///
     /// Returns whether a frame was freed.
-    pub(crate) fn reclaim_replica(
-        &self,
-        ctx: &mut UserCtx,
-        node: usize,
-        exclude: crate::ids::CpageId,
-    ) -> bool {
+    pub(crate) fn reclaim_replica(&self, ctx: &mut UserCtx, node: usize, exclude: CpageId) -> bool {
         let total = self.cpages.len();
         if total == 0 {
             return false;
@@ -137,7 +149,7 @@ impl Kernel {
         let start = self.reclaim.hand.fetch_add(1, Ordering::Relaxed);
         for i in 0..total {
             let idx = (start + i) % total;
-            let Some(cpage) = self.cpages.get(crate::ids::CpageId(idx as u64)) else {
+            let Some(cpage) = self.cpages.get(CpageId(idx as u64)) else {
                 continue;
             };
             if cpage.id() == exclude {
@@ -154,7 +166,14 @@ impl Kernel {
             debug_assert_eq!(g.state, CpState::PresentPlus);
             let victim_mask = 1u64 << node;
             let filter = victim_mask | g.remote_map_mask;
-            self.shootdown(ctx, &mut g, Directive::InvalidateModules(victim_mask), filter);
+            let id = cpage.id();
+            self.shootdown(
+                ctx,
+                id,
+                &mut g,
+                Directive::InvalidateModules(victim_mask),
+                filter,
+            );
             // Our own translation may point at the dying copy.
             self.drop_own_mapping_into(ctx, &g, victim_mask);
             let pp = g.remove_copy_on(node);
@@ -164,8 +183,23 @@ impl Kernel {
             if g.copies.len() == 1 {
                 g.state = CpState::Present1;
             }
-            KernelStats::bump(&self.stats.frames_freed);
-            KernelStats::bump(&self.stats.reclaims);
+            let now = ctx.core.vtime();
+            self.record(
+                ctx.core.id(),
+                now,
+                EventKind::FrameFree,
+                0,
+                id.0,
+                node as u64,
+            );
+            self.record(
+                ctx.core.id(),
+                now,
+                EventKind::ReplicaEvict,
+                0,
+                id.0,
+                node as u64,
+            );
             debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
             return true;
         }
@@ -208,24 +242,33 @@ impl Kernel {
     fn shootdown_one_space(
         &self,
         ctx: &mut UserCtx,
+        page: CpageId,
         space: &crate::AddressSpace,
         vpn: u64,
         directive: Directive,
         targets: u64,
     ) {
         use crate::coherent::cmap::CmapMsg;
+        let me = ctx.core.id();
         let msg = CmapMsg::new(vpn, directive, targets);
         space.cmap().post(Arc::clone(&msg));
-        KernelStats::bump(&self.stats.shootdowns);
         let mut awaited = 0u64;
         for p in numa_machine::procs_in_mask(targets) {
             if self.slots[p].active.lock().contains(&space.id()) {
                 self.machine().post_ipi(p);
                 ctx.core.charge(self.machine().cfg().timing.ipi_ns);
+                self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                 awaited |= 1u64 << p;
-                KernelStats::bump(&self.stats.ipis_sent);
             }
         }
+        self.record(
+            me,
+            ctx.core.vtime(),
+            EventKind::ShootdownInit,
+            0,
+            page.0,
+            u64::from(targets.count_ones()),
+        );
         let mut spins = 0u32;
         while msg.pending() & awaited != 0 {
             if ctx.core.take_ipi() {

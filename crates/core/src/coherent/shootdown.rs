@@ -21,10 +21,12 @@ use std::sync::Arc;
 
 use numa_machine::{procs_in_mask, AccessKind, PhysPage};
 
+use platinum_trace::EventKind;
+
 use crate::coherent::cmap::{CmapMsg, Directive};
 use crate::coherent::cpage::CpageInner;
+use crate::ids::CpageId;
 use crate::kernel::{Kernel, ShootdownMode};
-use crate::stats::KernelStats;
 use crate::user::UserCtx;
 
 /// What a shootdown did, for statistics and the §4 micro-benchmarks.
@@ -52,6 +54,7 @@ impl Kernel {
     pub(crate) fn shootdown(
         &self,
         ctx: &mut UserCtx,
+        page: CpageId,
         g: &mut CpageInner,
         directive: Directive,
         filter: u64,
@@ -60,14 +63,15 @@ impl Kernel {
         let my_bit = 1u64 << me;
         let costs = self.config().costs.clone();
         let mach_mode = self.config().shootdown == ShootdownMode::SharedPmapStall;
-        KernelStats::bump(&self.stats.shootdowns);
 
         let mut posted: Vec<(Arc<CmapMsg>, u64)> = Vec::new();
         let mut all_targets = 0u64;
         let mut ipis = 0u32;
 
         for &(as_id, vpn) in &g.bindings {
-            let Ok(space) = self.space(as_id) else { continue };
+            let Ok(space) = self.space(as_id) else {
+                continue;
+            };
             let Some(entry) = space.cmap().entry(vpn) else {
                 continue;
             };
@@ -94,9 +98,9 @@ impl Kernel {
                     }
                     if self.slots[p].active.lock().contains(&as_id) {
                         self.machine().post_ipi(p);
-                        ctx.core.charge(
-                            self.machine().cfg().timing.ipi_ns + costs.mach_stall_extra_ns,
-                        );
+                        ctx.core
+                            .charge(self.machine().cfg().timing.ipi_ns + costs.mach_stall_extra_ns);
+                        self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                         ipis += 1;
                         if targets & (1u64 << p) != 0 {
                             awaited |= 1u64 << p;
@@ -108,6 +112,7 @@ impl Kernel {
                     if self.slots[p].active.lock().contains(&as_id) {
                         self.machine().post_ipi(p);
                         ctx.core.charge(self.machine().cfg().timing.ipi_ns);
+                        self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                         ipis += 1;
                         awaited |= 1u64 << p;
                     }
@@ -116,7 +121,22 @@ impl Kernel {
             posted.push((msg, awaited));
         }
 
-        KernelStats::add(&self.stats.ipis_sent, u64::from(ipis));
+        // Counted per shootdown call, like the IPIs above are counted per
+        // interrupt: the ShootdownInit count is the number of shootdown
+        // operations initiated, whether or not any target needed work.
+        let code = match directive {
+            Directive::Invalidate => 0,
+            Directive::InvalidateModules(_) => 1,
+            Directive::RestrictToRead => 2,
+        };
+        self.record(
+            me,
+            ctx.core.vtime(),
+            EventKind::ShootdownInit,
+            code,
+            page.0,
+            u64::from(all_targets.count_ones()),
+        );
 
         // Wait for the active targets. Poll our own doorbell throughout:
         // another initiator may be shooting *us* down at the same time,
@@ -149,7 +169,13 @@ impl Kernel {
     }
 
     /// Charges `n` modelled kernel references of `kind` at `module`.
-    pub(crate) fn charge_refs_at(&self, ctx: &mut UserCtx, module: usize, n: u32, kind: AccessKind) {
+    pub(crate) fn charge_refs_at(
+        &self,
+        ctx: &mut UserCtx,
+        module: usize,
+        n: u32,
+        kind: AccessKind,
+    ) {
         ctx.core
             .charge_word_block(PhysPage::new(module, 0), kind, u64::from(n));
     }

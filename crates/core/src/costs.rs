@@ -90,8 +90,8 @@ mod tests {
         let local = 320u64;
         let copy = 1024 * 1100;
         // All kernel data local: fixed + (4 + 8 + 8) modelled local refs.
-        let fixed_local =
-            c.fault_fixed_ns + u64::from(c.cmap_lookup_refs + c.cpage_touch_refs + c.map_refs) * local;
+        let fixed_local = c.fault_fixed_ns
+            + u64::from(c.cmap_lookup_refs + c.cpage_touch_refs + c.map_refs) * local;
         let read_miss_local = fixed_local + copy;
         assert!(
             (1_300_000..=1_400_000).contains(&read_miss_local),

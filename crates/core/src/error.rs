@@ -71,7 +71,10 @@ mod tests {
     fn display_and_from() {
         let e: KernelError = AccessErr::Protection(0x40).into();
         assert_eq!(e.to_string(), "access error: protection fault at 0x40");
-        assert_eq!(KernelError::OutOfMemory.to_string(), "out of physical memory");
+        assert_eq!(
+            KernelError::OutOfMemory.to_string(),
+            "out of physical memory"
+        );
         assert_eq!(
             KernelError::ProcessorBusy(3).to_string(),
             "processor 3 already runs a thread"

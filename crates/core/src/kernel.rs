@@ -7,11 +7,12 @@ use std::sync::Arc;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use numa_machine::{Machine, ProcCore};
+use platinum_trace::{EventKind, Tracer};
 
 use crate::coherent::cpage::{Cpage, CpageInner, CpageTable};
 use crate::coherent::defrost::DefrostState;
-use crate::coherent::reclaim::ReclaimState;
 use crate::coherent::policy::{PlatinumPolicy, ReplicationPolicy};
+use crate::coherent::reclaim::ReclaimState;
 use crate::costs::KernelCosts;
 use crate::error::{KernelError, Result};
 use crate::ids::{AsId, ObjId, PortId, ThreadId};
@@ -187,11 +188,7 @@ impl Kernel {
         let mut spaces = self.spaces.write();
         let id = AsId(spaces.len() as u32);
         let home = id.index() % self.machine.nprocs();
-        let space = Arc::new(AddressSpace::new(
-            id,
-            home,
-            self.machine.cfg().page_shift,
-        ));
+        let space = Arc::new(AddressSpace::new(id, home, self.machine.cfg().page_shift));
         spaces.push(Arc::clone(&space));
         space
     }
@@ -260,11 +257,7 @@ impl Kernel {
 
     /// The coherent page backing `va` in `space`, if that page has ever
     /// been touched (instrumentation and tests).
-    pub fn cpage_for_va(
-        &self,
-        space: &AddressSpace,
-        va: numa_machine::Va,
-    ) -> Option<Arc<Cpage>> {
+    pub fn cpage_for_va(&self, space: &AddressSpace, va: numa_machine::Va) -> Option<Arc<Cpage>> {
         let entry = space.cmap().entry(space.vpn_of(va))?;
         self.cpages.get(entry.cpage)
     }
@@ -272,6 +265,42 @@ impl Kernel {
     /// Kernel-wide event counters.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// Installs a protocol-event tracer (delegates to the machine, which
+    /// owns the registry so hardware-level events land on the same
+    /// timeline). Returns `false` if a tracer was already installed.
+    pub fn install_tracer(&self, tracer: Arc<Tracer>) -> bool {
+        self.machine.install_tracer(tracer)
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.machine.tracer()
+    }
+
+    /// Records one kernel event: bumps the [`KernelStats`] counter for
+    /// `kind` and, when tracing is compiled in and a tracer is installed,
+    /// emits the event against `proc`'s virtual clock. Every protocol
+    /// emit site goes through here, which is what guarantees that the
+    /// counters and the trace agree event for event.
+    #[inline]
+    pub(crate) fn record(
+        &self,
+        proc: usize,
+        vtime: u64,
+        kind: EventKind,
+        code: u8,
+        page: u64,
+        arg: u64,
+    ) {
+        self.stats.record(kind);
+        #[cfg(feature = "trace")]
+        if let Some(t) = self.machine.tracer() {
+            t.emit(proc, vtime, kind, code, page, arg);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (proc, vtime, code, page, arg);
     }
 
     /// Builds the post-mortem memory-management report (§4.2).
@@ -307,6 +336,14 @@ impl Kernel {
             if let Some(mut g) = page.try_lock() {
                 ctx.core.charge(waited_ns);
                 g.lock_wait_ns += waited_ns;
+                self.record(
+                    ctx.core.id(),
+                    ctx.core.vtime(),
+                    EventKind::LockWait,
+                    0,
+                    page.id().0,
+                    waited_ns,
+                );
                 return g;
             }
         }

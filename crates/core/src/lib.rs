@@ -71,6 +71,9 @@ pub use costs::KernelCosts;
 pub use error::{KernelError, Result};
 pub use ids::{AsId, CpageId, ObjId, PortId, Rights, ThreadId};
 pub use kernel::{Kernel, KernelConfig, ShootdownMode};
+/// The protocol-event tracer (re-exported so downstream crates need not
+/// depend on `platinum-trace` directly).
+pub use platinum_trace as trace;
 pub use port::Port;
 pub use stats::{CpageReport, KernelStats, MemoryReport, StatsSnapshot};
 pub use thread::{ThreadInfo, ThreadState};

@@ -11,70 +11,52 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use platinum_trace::EventKind;
+
 use crate::coherent::cpage::{CpState, CpageTable};
 use crate::ids::CpageId;
 
 /// Machine-wide kernel event counters.
+///
+/// One counter per [`EventKind`], incremented by [`Kernel::record`]
+/// (`crate::kernel`) — the same call that emits the event to the tracer,
+/// so counters and traces can never disagree: a count is exactly the
+/// number of events of that kind ever recorded.
 #[derive(Default)]
 pub struct KernelStats {
-    /// Coherent-memory page faults handled.
-    pub faults: AtomicU64,
-    /// Faults that fell through to the virtual-memory layer (first touch).
-    pub vm_faults: AtomicU64,
-    /// Page replications performed (a new physical copy created).
-    pub replications: AtomicU64,
-    /// Page migrations performed (copy moved, original invalidated).
-    pub migrations: AtomicU64,
-    /// Remote mappings created instead of replication/migration.
-    pub remote_maps: AtomicU64,
-    /// Pages frozen by the replication policy.
-    pub freezes: AtomicU64,
-    /// Pages thawed (defrost daemon or explicit).
-    pub thaws: AtomicU64,
-    /// Protocol invalidation events (the ones that feed the policy's
-    /// interference history).
-    pub invalidations: AtomicU64,
-    /// Shootdown operations initiated.
-    pub shootdowns: AtomicU64,
-    /// Interprocessor interrupts sent.
-    pub ipis_sent: AtomicU64,
-    /// Physical frames freed by the protocol.
-    pub frames_freed: AtomicU64,
-    /// Defrost daemon activations.
-    pub defrost_runs: AtomicU64,
-    /// Replica evictions performed under memory pressure.
-    pub reclaims: AtomicU64,
+    counters: [AtomicU64; EventKind::COUNT],
 }
 
 impl KernelStats {
-    /// Increments `counter`.
+    /// Counts one event of `kind`.
     #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record(&self, kind: EventKind) {
+        self.counters[kind as usize].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Adds `n` to `counter`.
+    /// The number of events of `kind` recorded so far.
     #[inline]
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counters[kind as usize].load(Ordering::Relaxed)
     }
 
-    /// A plain-value snapshot of the counters.
+    /// A plain-value snapshot of the counters. The named fields select
+    /// the protocol-level kinds; [`KernelStats::count`] reaches the rest.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            faults: self.faults.load(Ordering::Relaxed),
-            vm_faults: self.vm_faults.load(Ordering::Relaxed),
-            replications: self.replications.load(Ordering::Relaxed),
-            migrations: self.migrations.load(Ordering::Relaxed),
-            remote_maps: self.remote_maps.load(Ordering::Relaxed),
-            freezes: self.freezes.load(Ordering::Relaxed),
-            thaws: self.thaws.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            shootdowns: self.shootdowns.load(Ordering::Relaxed),
-            ipis_sent: self.ipis_sent.load(Ordering::Relaxed),
-            frames_freed: self.frames_freed.load(Ordering::Relaxed),
-            defrost_runs: self.defrost_runs.load(Ordering::Relaxed),
-            reclaims: self.reclaims.load(Ordering::Relaxed),
+            faults: self.count(EventKind::FaultBegin),
+            vm_faults: self.count(EventKind::VmFault),
+            replications: self.count(EventKind::Replicate),
+            migrations: self.count(EventKind::Migrate),
+            remote_maps: self.count(EventKind::RemoteMap),
+            freezes: self.count(EventKind::Freeze),
+            thaws: self.count(EventKind::Thaw),
+            invalidations: self.count(EventKind::Invalidate),
+            shootdowns: self.count(EventKind::ShootdownInit),
+            ipis_sent: self.count(EventKind::Ipi),
+            frames_freed: self.count(EventKind::FrameFree),
+            defrost_runs: self.count(EventKind::DefrostRun),
+            reclaims: self.count(EventKind::ReplicaEvict),
         }
     }
 }
@@ -109,6 +91,32 @@ pub struct StatsSnapshot {
     pub defrost_runs: u64,
     /// Replica evictions under memory pressure.
     pub reclaims: u64,
+}
+
+impl StatsSnapshot {
+    /// The events recorded since `earlier` was taken: field-wise
+    /// `self - earlier`. Benchmark phases snapshot before and after a
+    /// measured region and report the delta.
+    ///
+    /// Saturates at zero, so a stale `earlier` from a different kernel
+    /// cannot underflow.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            faults: self.faults.saturating_sub(earlier.faults),
+            vm_faults: self.vm_faults.saturating_sub(earlier.vm_faults),
+            replications: self.replications.saturating_sub(earlier.replications),
+            migrations: self.migrations.saturating_sub(earlier.migrations),
+            remote_maps: self.remote_maps.saturating_sub(earlier.remote_maps),
+            freezes: self.freezes.saturating_sub(earlier.freezes),
+            thaws: self.thaws.saturating_sub(earlier.thaws),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            shootdowns: self.shootdowns.saturating_sub(earlier.shootdowns),
+            ipis_sent: self.ipis_sent.saturating_sub(earlier.ipis_sent),
+            frames_freed: self.frames_freed.saturating_sub(earlier.frames_freed),
+            defrost_runs: self.defrost_runs.saturating_sub(earlier.defrost_runs),
+            reclaims: self.reclaims.saturating_sub(earlier.reclaims),
+        }
+    }
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -214,7 +222,16 @@ impl fmt::Display for MemoryReport {
         writeln!(
             f,
             "{:>6} {:>5} {:>9} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6} {:>12}",
-            "cpage", "home", "state", "copies", "faults", "repl", "migr", "frz", "thaw", "lockwait_us"
+            "cpage",
+            "home",
+            "state",
+            "copies",
+            "faults",
+            "repl",
+            "migr",
+            "frz",
+            "thaw",
+            "lockwait_us"
         )?;
         for p in &self.pages {
             // Keep the report readable: skip untouched pages.
@@ -246,17 +263,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_reflects_bumps() {
+    fn snapshot_reflects_records() {
         let s = KernelStats::default();
-        KernelStats::bump(&s.faults);
-        KernelStats::bump(&s.faults);
-        KernelStats::add(&s.ipis_sent, 5);
+        s.record(EventKind::FaultBegin);
+        s.record(EventKind::FaultBegin);
+        for _ in 0..5 {
+            s.record(EventKind::Ipi);
+        }
         let snap = s.snapshot();
         assert_eq!(snap.faults, 2);
         assert_eq!(snap.ipis_sent, 5);
         assert_eq!(snap.migrations, 0);
+        // Kinds outside the named snapshot are still counted.
+        s.record(EventKind::LockWait);
+        assert_eq!(s.count(EventKind::LockWait), 1);
         let text = snap.to_string();
         assert!(text.contains("IPIs sent"));
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = KernelStats::default();
+        s.record(EventKind::Freeze);
+        let before = s.snapshot();
+        s.record(EventKind::Freeze);
+        s.record(EventKind::Thaw);
+        let after = s.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.freezes, 1);
+        assert_eq!(d.thaws, 1);
+        assert_eq!(d.faults, 0);
+        assert_eq!(before.delta(&after), StatsSnapshot::default(), "saturates");
     }
 
     #[test]

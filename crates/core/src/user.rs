@@ -4,6 +4,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use numa_machine::{AccessErr, AccessKind, Mem, PhysPage, ProcCore, Va, Vpn};
+use platinum_trace::EventKind;
 
 use crate::coherent::cmap::Directive;
 use crate::error::{KernelError, Result};
@@ -113,14 +114,18 @@ impl UserCtx {
     /// (§3.1's activity optimization).
     pub fn suspend(&mut self) {
         self.deactivate_space();
-        self.kernel.threads.set_state(self.thread, ThreadState::Suspended);
+        self.kernel
+            .threads
+            .set_state(self.thread, ThreadState::Suspended);
     }
 
     /// Resumes a [`UserCtx::suspend`]ed thread, applying any mapping
     /// changes that arrived while it was suspended.
     pub fn resume(&mut self) {
         self.activate_space();
-        self.kernel.threads.set_state(self.thread, ThreadState::Running);
+        self.kernel
+            .threads
+            .set_state(self.thread, ThreadState::Running);
     }
 
     /// Switches the thread to a different address space.
@@ -163,7 +168,9 @@ impl UserCtx {
         let old = self.core.id();
         let vtime = self.core.vtime() + self.kernel.config().costs.thread_migrate_ns;
         self.core = ProcCore::new(Arc::clone(self.kernel.machine()), new_proc, vtime);
-        self.kernel.slots[old].occupied.store(false, Ordering::Release);
+        self.kernel.slots[old]
+            .occupied
+            .store(false, Ordering::Release);
         self.activate_space();
         self.kernel.threads.set_proc(self.thread, new_proc);
         Ok(())
@@ -184,6 +191,11 @@ impl UserCtx {
         self.core.counters_mut().ipis_handled += 1;
         let apply_ns = self.kernel.config().costs.apply_msg_ns;
         for m in msgs {
+            let code = match m.directive {
+                Directive::Invalidate => 0,
+                Directive::InvalidateModules(_) => 1,
+                Directive::RestrictToRead => 2,
+            };
             match m.directive {
                 Directive::Invalidate => {
                     if self.pmap.remove(space_id, m.vpn).is_some() {
@@ -214,6 +226,14 @@ impl UserCtx {
             }
             self.core.charge(apply_ns);
             m.ack(me, self.core.vtime());
+            self.kernel.record(
+                me,
+                self.core.vtime(),
+                EventKind::ShootdownAck,
+                code,
+                m.vpn,
+                0,
+            );
         }
     }
 
@@ -374,7 +394,12 @@ impl Mem for UserCtx {
             .fetch_add(self.word_of(va), delta)
     }
 
-    fn compare_exchange(&mut self, va: Va, current: u32, new: u32) -> std::result::Result<u32, u32> {
+    fn compare_exchange(
+        &mut self,
+        va: Va,
+        current: u32,
+        new: u32,
+    ) -> std::result::Result<u32, u32> {
         let pp = self.translate_or_panic(va, true);
         self.core.charge_word_access(pp, AccessKind::Atomic);
         self.kernel
@@ -404,6 +429,16 @@ impl Mem for UserCtx {
         self.core.end_wait();
     }
 
+    fn trace_lock(&mut self, va: Va, acquire: bool) {
+        let kind = if acquire {
+            EventKind::LockAcquire
+        } else {
+            EventKind::LockRelease
+        };
+        self.kernel
+            .record(self.core.id(), self.core.vtime(), kind, 0, va, 0);
+    }
+
     fn read_block(&mut self, va: Va, dst: &mut [u32]) {
         // Translate once per page, then stream the words with batched
         // charging — a software copy loop with the per-page fault cost
@@ -415,8 +450,7 @@ impl Mem for UserCtx {
             let pp = self.translate_or_panic(addr, false);
             let word0 = self.word_of(addr);
             let n = (words_per_page - word0).min(dst.len() - done);
-            self.core
-                .charge_word_block(pp, AccessKind::Read, n as u64);
+            self.core.charge_word_block(pp, AccessKind::Read, n as u64);
             self.kernel
                 .machine()
                 .frame_data(pp)
@@ -433,8 +467,7 @@ impl Mem for UserCtx {
             let pp = self.translate_or_panic(addr, true);
             let word0 = self.word_of(addr);
             let n = (words_per_page - word0).min(src.len() - done);
-            self.core
-                .charge_word_block(pp, AccessKind::Write, n as u64);
+            self.core.charge_word_block(pp, AccessKind::Write, n as u64);
             self.kernel
                 .machine()
                 .frame_data(pp)

@@ -131,8 +131,8 @@ impl AddressSpace {
         let vpn_start = self.vpn_of(va);
         let mut regions = self.regions.write();
         for r in regions.iter() {
-            let disjoint =
-                vpn_start + pages as u64 <= r.vpn_start || vpn_start >= r.vpn_start + r.pages as u64;
+            let disjoint = vpn_start + pages as u64 <= r.vpn_start
+                || vpn_start >= r.vpn_start + r.pages as u64;
             if !disjoint {
                 return Err(KernelError::MappingConflict(va));
             }
@@ -166,7 +166,11 @@ impl AddressSpace {
 
     /// The region containing `vpn`, if any.
     pub fn region_for(&self, vpn: Vpn) -> Option<Region> {
-        self.regions.read().iter().find(|r| r.contains(vpn)).cloned()
+        self.regions
+            .read()
+            .iter()
+            .find(|r| r.contains(vpn))
+            .cloned()
     }
 
     /// Removes the region starting exactly at `va`, returning it.

@@ -262,7 +262,11 @@ fn freeze_then_quiet_period_then_replication_recovers() {
             });
         }
     });
-    assert_eq!(kernel.report().ever_frozen().len(), 1, "phase 1 must freeze");
+    assert_eq!(
+        kernel.report().ever_frozen().len(),
+        1,
+        "phase 1 must freeze"
+    );
 
     // Phase 2: read-only, far in the future; the defrost daemon fires and
     // replication resumes.

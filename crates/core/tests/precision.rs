@@ -111,11 +111,7 @@ fn mach_comparator_interrupts_everyone_active() {
         shootdown: ShootdownMode::SharedPmapStall,
         ..Default::default()
     };
-    let kernel = Kernel::with_config(
-        m,
-        Box::new(platinum::PlatinumPolicy::paper_default()),
-        cfg,
-    );
+    let kernel = Kernel::with_config(m, Box::new(platinum::PlatinumPolicy::paper_default()), cfg);
     let space = kernel.create_space();
     let object = kernel.create_object(2);
     let va = space.map_anywhere(object, Rights::RW).unwrap();
@@ -280,10 +276,7 @@ fn switch_space_updates_registry_and_protects_old_mappings() {
     let mut ctx = kernel.attach(Arc::clone(&s1), 0, 0).unwrap();
     ctx.write(va1, 123);
     ctx.switch_space(Arc::clone(&s2));
-    assert_eq!(
-        kernel.thread_info(ctx.thread_id()).unwrap().space,
-        s2.id()
-    );
+    assert_eq!(kernel.thread_info(ctx.thread_id()).unwrap().space, s2.id());
     // va1 is not mapped in s2.
     assert!(ctx.try_read(va1).is_err());
     ctx.switch_space(s1);

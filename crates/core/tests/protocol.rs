@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use numa_machine::{Machine, MachineConfig, Mem};
 use platinum::{
-    AceStyle, AlwaysReplicate, CpState, Kernel, NeverReplicate, PlatinumPolicy,
-    ReplicationPolicy, Rights, UserCtx,
+    AceStyle, AlwaysReplicate, CpState, Kernel, NeverReplicate, PlatinumPolicy, ReplicationPolicy,
+    Rights, UserCtx,
 };
 
 fn machine(nodes: usize) -> Arc<Machine> {
@@ -148,7 +148,11 @@ fn present_plus_write_collapses_to_modified() {
     // just invalidated, so the policy freezes rather than replicates.
     ctxs[1].resume();
     assert_eq!(ctxs[1].read(va), 9);
-    assert_eq!(copies_of(&kernel, &ctxs[1], va), 1, "frozen: no replication");
+    assert_eq!(
+        copies_of(&kernel, &ctxs[1], va),
+        1,
+        "frozen: no replication"
+    );
 }
 
 #[test]
@@ -206,11 +210,7 @@ fn write_ping_pong_freezes_page() {
         assert!(g.frozen, "interleaved writes must freeze the page");
         assert_eq!(g.state, CpState::Modified);
         assert_eq!(g.copies.len(), 1);
-        assert_eq!(
-            g.copies[0].module_id(),
-            1,
-            "frozen page stays where it was"
-        );
+        assert_eq!(g.copies[0].module_id(), 1, "frozen page stays where it was");
         g.check_invariants().unwrap();
     }
     let s = kernel.stats().snapshot();
@@ -235,7 +235,13 @@ fn defrost_thaws_frozen_page() {
     ctxs[1].suspend();
     ctxs[0].resume();
     ctxs[0].write(va, 3);
-    assert!(kernel.cpage_for_va(ctxs[0].space(), va).unwrap().lock().frozen);
+    assert!(
+        kernel
+            .cpage_for_va(ctxs[0].space(), va)
+            .unwrap()
+            .lock()
+            .frozen
+    );
 
     // The defrost daemon runs (ctx 1 suspended: not awaited).
     kernel.run_defrost(&mut ctxs[0]);
@@ -268,9 +274,21 @@ fn explicit_thaw() {
     ctxs[1].suspend();
     ctxs[0].resume();
     ctxs[0].write(va, 3);
-    assert!(kernel.cpage_for_va(ctxs[0].space(), va).unwrap().lock().frozen);
+    assert!(
+        kernel
+            .cpage_for_va(ctxs[0].space(), va)
+            .unwrap()
+            .lock()
+            .frozen
+    );
     ctxs[0].thaw(va).unwrap();
-    assert!(!kernel.cpage_for_va(ctxs[0].space(), va).unwrap().lock().frozen);
+    assert!(
+        !kernel
+            .cpage_for_va(ctxs[0].space(), va)
+            .unwrap()
+            .lock()
+            .frozen
+    );
 }
 
 #[test]
@@ -286,12 +304,24 @@ fn thaw_on_access_variant_replicates_after_t1() {
     ctxs[1].suspend();
     ctxs[0].resume();
     ctxs[0].write(va, 3);
-    assert!(kernel.cpage_for_va(ctxs[0].space(), va).unwrap().lock().frozen);
+    assert!(
+        kernel
+            .cpage_for_va(ctxs[0].space(), va)
+            .unwrap()
+            .lock()
+            .frozen
+    );
     ctxs[0].suspend();
 
     // Within t1 a mapping-less processor still gets a remote mapping.
     assert_eq!(ctxs[2].read(va), 3);
-    assert!(kernel.cpage_for_va(ctxs[2].space(), va).unwrap().lock().frozen);
+    assert!(
+        kernel
+            .cpage_for_va(ctxs[2].space(), va)
+            .unwrap()
+            .lock()
+            .frozen
+    );
 
     // After t1 expires, the next *fault* thaws the page without waiting
     // for the defrost daemon. ctx2 holds a read-only mapping, so a write
@@ -324,7 +354,10 @@ fn never_replicate_remote_maps() {
     let s = kernel.stats().snapshot();
     assert_eq!(s.replications, 0);
     assert_eq!(s.remote_maps, 2);
-    assert!(!g.frozen, "remote mapping without interference is not a freeze");
+    assert!(
+        !g.frozen,
+        "remote mapping without interference is not a freeze"
+    );
 }
 
 #[test]
@@ -460,7 +493,13 @@ fn atomic_ops_are_coherent_on_frozen_page() {
     ctxs[0].resume();
     ctxs[0].write(va, 0);
     ctxs[1].resume();
-    assert!(kernel.cpage_for_va(ctxs[0].space(), va).unwrap().lock().frozen);
+    assert!(
+        kernel
+            .cpage_for_va(ctxs[0].space(), va)
+            .unwrap()
+            .lock()
+            .frozen
+    );
 
     // Atomic increments from both processors through remote mappings.
     for _ in 0..50 {
@@ -522,5 +561,8 @@ fn post_mortem_report_shows_frozen_pages() {
     assert_eq!(report.ever_frozen().len(), 1);
     assert!(report.totals.faults >= 3);
     let text = report.to_string();
-    assert!(text.contains("FROZEN"), "report must flag frozen pages:\n{text}");
+    assert!(
+        text.contains("FROZEN"),
+        "report must flag frozen pages:\n{text}"
+    );
 }

@@ -26,10 +26,7 @@ fn read_only_grant_rejects_writes_and_atomics() {
     let va = space.map_anywhere(object, Rights::RO).unwrap();
     let mut ctx = kernel.attach(space, 0, 0).unwrap();
     assert_eq!(ctx.try_read(va).unwrap(), 0);
-    assert!(matches!(
-        ctx.try_write(va, 1),
-        Err(KernelError::Access(_))
-    ));
+    assert!(matches!(ctx.try_write(va, 1), Err(KernelError::Access(_))));
     // Atomics require write access too — the fault handler treats them
     // as writes.
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -49,9 +46,7 @@ fn same_object_different_rights_in_different_spaces() {
     let wva = writer_space
         .map_anywhere(Arc::clone(&object), Rights::RW)
         .unwrap();
-    let rva = reader_space
-        .map_anywhere(object, Rights::RO)
-        .unwrap();
+    let rva = reader_space.map_anywhere(object, Rights::RO).unwrap();
 
     let mut w = kernel.attach(writer_space, 0, 0).unwrap();
     let mut r = kernel.attach(reader_space, 1, 0).unwrap();

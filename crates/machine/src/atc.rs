@@ -16,7 +16,10 @@ const INVALID: AtcEntry = AtcEntry {
     valid: false,
     asid: 0,
     vpn: 0,
-    pp: PhysPage { module: 0, frame: 0 },
+    pp: PhysPage {
+        module: 0,
+        frame: 0,
+    },
     writable: false,
 };
 

@@ -191,7 +191,7 @@ mod tests {
         // The first request of bucket 1 inherits 4000 ns of backlog.
         let d = r.reserve(1000, 100);
         assert_eq!(d, 3100); // 4000 backlog + 100 service - 1000 capacity
-        // And bucket 2 inherits what bucket 1 could not serve.
+                             // And bucket 2 inherits what bucket 1 could not serve.
         let d = r.reserve(2000, 100);
         assert!(d > 2000, "saturation must accumulate: {d}");
     }

@@ -105,7 +105,11 @@ impl Frame {
     ///
     /// Panics if the frames have different lengths.
     pub fn copy_from(&self, src: &Frame) {
-        assert_eq!(self.len(), src.len(), "block transfer between unequal frames");
+        assert_eq!(
+            self.len(),
+            src.len(),
+            "block transfer between unequal frames"
+        );
         for i in 0..self.words.len() {
             self.words[i].store(src.words[i].load(Ordering::Relaxed), Ordering::Relaxed);
         }

@@ -1,6 +1,8 @@
 //! The machine: modules, processor signalling state, and global queries.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use platinum_trace::Tracer;
 
 use crate::addr::{PhysPage, ProcId};
 use crate::config::MachineConfig;
@@ -20,6 +22,10 @@ pub struct Machine {
     cfg: MachineConfig,
     modules: Box<[MemoryModule]>,
     shared: Box<[ProcShared]>,
+    /// Protocol-event tracer, installed at most once per machine. Every
+    /// layer above (kernel, runtime) emits through this single registry
+    /// so one timeline covers hardware and kernel events.
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 impl Machine {
@@ -37,11 +43,35 @@ impl Machine {
             .map(|_| ProcShared::new())
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let tracer = OnceLock::new();
+        // A process-global tracer (platinum_trace::install_global) is
+        // picked up automatically, so harnesses can enable tracing
+        // without threading a handle through every constructor.
+        if let Some(t) = platinum_trace::global() {
+            let _ = tracer.set(t);
+        }
         Ok(Arc::new(Self {
             cfg,
             modules,
             shared,
+            tracer,
         }))
+    }
+
+    /// Installs a protocol-event tracer on this machine. Returns `false`
+    /// if one was already installed (the first installation wins).
+    ///
+    /// Install before attaching any threads: emit sites read the
+    /// registry on every event, but a run traced from the middle has a
+    /// truncated timeline.
+    pub fn install_tracer(&self, tracer: Arc<Tracer>) -> bool {
+        self.tracer.set(tracer).is_ok()
+    }
+
+    /// The installed tracer, if any.
+    #[inline]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.get()
     }
 
     /// The machine's configuration.

@@ -93,6 +93,17 @@ pub trait Mem {
     /// Declares that the spin-wait loop exited.
     fn end_wait(&mut self) {}
 
+    /// Instrumentation hook: a synchronization primitive acquired
+    /// (`acquire == true`) or is about to release (`acquire == false`)
+    /// the lock whose state word is at `va`. Default: no-op.
+    ///
+    /// Implementations backed by a traced machine record the event on
+    /// the protocol timeline — lock hold intervals are how the §4.2
+    /// frozen-spin-lock anecdote is diagnosed.
+    fn trace_lock(&mut self, va: Va, acquire: bool) {
+        let _ = (va, acquire);
+    }
+
     /// Reads `dst.len()` consecutive words starting at `va`.
     ///
     /// The default implementation is word-at-a-time; implementations may

@@ -163,7 +163,11 @@ impl MemoryModule {
     /// Panics if the frame was already free — double frees are kernel bugs.
     pub fn free_frame(&self, frame: usize) {
         let prev = self.owners[frame].swap(FREE, Ordering::AcqRel);
-        assert_ne!(prev, FREE, "double free of frame {frame} on node {}", self.node);
+        assert_ne!(
+            prev, FREE,
+            "double free of frame {frame} on node {}",
+            self.node
+        );
         self.allocated.fetch_sub(1, Ordering::Relaxed);
     }
 

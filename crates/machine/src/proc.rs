@@ -351,6 +351,24 @@ impl ProcCore {
             s1
         };
         self.counters.queue_delay_ns += ready - self.vtime;
+        #[cfg(feature = "trace")]
+        if let Some(t) = self.machine.tracer() {
+            use platinum_trace::EventKind;
+            let route = (src.module_id() as u64) << 32 | dst.module_id() as u64;
+            if ready > self.vtime {
+                // The engine was busy: the transfer queued behind another
+                // (the pivot-row serialization of §5.1).
+                t.emit(
+                    self.id,
+                    self.vtime,
+                    EventKind::ContentionStall,
+                    0,
+                    route,
+                    ready - self.vtime,
+                );
+            }
+            t.emit(self.id, ready, EventKind::BlockTransfer, 0, route, duration);
+        }
         self.vtime = ready + duration;
         self.counters.block_transfers += 1;
         self.counters.block_words += words;

@@ -216,10 +216,12 @@ impl Mem for UmaCtx {
         self.counters.queue_delay_ns += start - self.vtime;
         self.vtime = start + t.atomic_ns;
         self.counters.remote_atomics += 1;
-        let r = self
-            .machine
-            .word(idx)
-            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        let r = self.machine.word(idx).compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
         if r.is_ok() {
             self.machine.bump_line_version(idx);
         }

@@ -188,9 +188,7 @@ impl UmaMachine {
 
     #[inline]
     pub(crate) fn bump_line_version(&self, word_idx: usize) -> u64 {
-        self.line_versions[word_idx / self.cfg.words_per_line()]
-            .fetch_add(1, Ordering::Relaxed)
-            + 1
+        self.line_versions[word_idx / self.cfg.words_per_line()].fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Reserves `service_ns` of the shared bus at virtual time `now`;

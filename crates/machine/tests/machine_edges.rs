@@ -3,9 +3,7 @@
 use std::sync::Arc;
 
 use numa_machine::uma::{UmaConfig, UmaCtx, UmaMachine};
-use numa_machine::{
-    AccessKind, Machine, MachineConfig, Mem, PhysPage, ProcCore,
-};
+use numa_machine::{AccessKind, Machine, MachineConfig, Mem, PhysPage, ProcCore};
 
 fn machine(nodes: usize) -> Arc<Machine> {
     Machine::new(MachineConfig {
@@ -96,8 +94,8 @@ fn uma_ctx_publishes_idle_on_drop_and_while_waiting() {
         a.end_wait();
         assert!(b.vtime() > 0);
     } // both drop here
-    // After drop, a fresh context can run ahead freely (dropped
-    // processors do not hold the window's minimum down).
+      // After drop, a fresh context can run ahead freely (dropped
+      // processors do not hold the window's minimum down).
     let mut c = UmaCtx::new(m, 0);
     for i in 0..100_000u64 {
         c.write((i % 512) * 4, i as u32);

@@ -49,8 +49,8 @@ impl RunStats {
             return 1.0;
         }
         let max = self.elapsed_ns() as f64;
-        let mean = self.workers.iter().map(|w| w.vtime_ns as f64).sum::<f64>()
-            / self.workers.len() as f64;
+        let mean =
+            self.workers.iter().map(|w| w.vtime_ns as f64).sum::<f64>() / self.workers.len() as f64;
         if mean == 0.0 {
             1.0
         } else {

@@ -76,6 +76,7 @@ impl SpinLock {
         // The critical section cannot begin before the previous holder
         // released.
         m.advance_to(self.release_vtime.load(Ordering::Acquire));
+        m.trace_lock(self.word, true);
     }
 
     /// Releases the lock.
@@ -84,6 +85,7 @@ impl SpinLock {
     ///
     /// Panics if the lock was not held (the word was not 1).
     pub fn release<M: Mem>(&self, m: &mut M) {
+        m.trace_lock(self.word, false);
         self.release_vtime.fetch_max(m.vtime(), Ordering::AcqRel);
         let prev = m.swap(self.word, 0);
         assert_eq!(prev, 1, "releasing a lock that was not held");

@@ -103,10 +103,7 @@ fn event_count_orders_producer_chain() {
             for i in 0..ITEMS {
                 ec.await_at_least(ctx, i + 1);
                 let v = ctx.read(data + 4 * (i % 64) as u64);
-                assert!(
-                    v > i,
-                    "consumer {tid} saw stale item {i}: {v}"
-                );
+                assert!(v > i, "consumer {tid} saw stale item {i}: {v}");
             }
         }
     });

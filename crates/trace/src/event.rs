@@ -1,0 +1,234 @@
+//! Event kinds and the decoded event record.
+
+/// What happened. Grouped by the layer that emits it.
+///
+/// The `page` and `arg` payload words of a [`TraceEvent`] are
+/// kind-specific:
+///
+/// | kind | `code` | `page` | `arg` |
+/// |------|--------|--------|-------|
+/// | `FaultBegin` | 1 if write fault | faulting va | 0 |
+/// | `FaultEnd` | [`FaultResolution`] | coherent page id | begin vtime (ns) |
+/// | `VmFault` | 0 | faulting va | 0 |
+/// | `Replicate` | 0 | coherent page id | source module |
+/// | `Migrate` | 0 | coherent page id | source module |
+/// | `RemoteMap` | 0 | coherent page id | home module |
+/// | `Invalidate` | directive code | coherent page id | surviving module |
+/// | `Freeze` | 0 | coherent page id | ns since last invalidation |
+/// | `Thaw` | 0 | coherent page id | 0 |
+/// | `ShootdownInit` | directive code | coherent page id | target count |
+/// | `ShootdownAck` | directive code | vpn | initiator proc |
+/// | `Ipi` | 0 | coherent page id | target proc |
+/// | `BlockTransfer` | 0 | src module << 32 \| dst module | duration (ns) |
+/// | `ContentionStall` | 0 | module | queue delay (ns) |
+/// | `LockWait` | 0 | coherent page id | wait (ns) |
+/// | `ReplicaEvict` | 0 | coherent page id | evicted module |
+/// | `FrameFree` | 0 | coherent page id | module |
+/// | `DefrostRun` | 0 | pages examined | pages thawed |
+/// | `LockAcquire` | 0 | lock va | spin iterations |
+/// | `LockRelease` | 0 | lock va | 0 |
+/// | `PolicyDecision` | 0=replicate 1=map 2=map+freeze | coherent page id | 0 |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A coherency fault entered the kernel.
+    FaultBegin = 0,
+    /// The fault resolved; `code` says how.
+    FaultEnd = 1,
+    /// A virtual-memory fault (zero fill / first touch of a mapping).
+    VmFault = 2,
+    /// A page copy was created on the faulting processor's module.
+    Replicate = 3,
+    /// The page's only copy moved to the faulting processor's module.
+    Migrate = 4,
+    /// The fault was resolved by mapping an existing copy remotely.
+    RemoteMap = 5,
+    /// Copies were invalidated down to one (directed by a write).
+    Invalidate = 6,
+    /// The page froze: further faults remote-map instead of moving it.
+    Freeze = 7,
+    /// The page thawed (defrost daemon or explicit thaw).
+    Thaw = 8,
+    /// A TLB/ATC shootdown round started.
+    ShootdownInit = 9,
+    /// A processor acknowledged a shootdown message.
+    ShootdownAck = 10,
+    /// An interprocessor interrupt was posted.
+    Ipi = 11,
+    /// The block-transfer engine copied a page between modules.
+    BlockTransfer = 12,
+    /// A memory-module queue delayed an access (switch contention).
+    ContentionStall = 13,
+    /// A processor waited for another's coherent-page lock.
+    LockWait = 14,
+    /// A replica was evicted to satisfy an allocation (frame pressure).
+    ReplicaEvict = 15,
+    /// A frame returned to its module's free list.
+    FrameFree = 16,
+    /// The defrost daemon ran.
+    DefrostRun = 17,
+    /// An application spin lock was acquired (runtime layer).
+    LockAcquire = 18,
+    /// An application spin lock was released (runtime layer).
+    LockRelease = 19,
+    /// The replication policy chose how to resolve a fault.
+    PolicyDecision = 20,
+}
+
+impl EventKind {
+    /// Number of kinds (counters and decode tables are sized by this).
+    pub const COUNT: usize = 21;
+
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::FaultBegin,
+        EventKind::FaultEnd,
+        EventKind::VmFault,
+        EventKind::Replicate,
+        EventKind::Migrate,
+        EventKind::RemoteMap,
+        EventKind::Invalidate,
+        EventKind::Freeze,
+        EventKind::Thaw,
+        EventKind::ShootdownInit,
+        EventKind::ShootdownAck,
+        EventKind::Ipi,
+        EventKind::BlockTransfer,
+        EventKind::ContentionStall,
+        EventKind::LockWait,
+        EventKind::ReplicaEvict,
+        EventKind::FrameFree,
+        EventKind::DefrostRun,
+        EventKind::LockAcquire,
+        EventKind::LockRelease,
+        EventKind::PolicyDecision,
+    ];
+
+    /// Decodes a discriminant produced by `kind as u8`.
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+
+    /// A short stable name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::FaultBegin => "fault_begin",
+            EventKind::FaultEnd => "fault",
+            EventKind::VmFault => "vm_fault",
+            EventKind::Replicate => "replicate",
+            EventKind::Migrate => "migrate",
+            EventKind::RemoteMap => "remote_map",
+            EventKind::Invalidate => "invalidate",
+            EventKind::Freeze => "freeze",
+            EventKind::Thaw => "thaw",
+            EventKind::ShootdownInit => "shootdown",
+            EventKind::ShootdownAck => "shootdown_ack",
+            EventKind::Ipi => "ipi",
+            EventKind::BlockTransfer => "block_transfer",
+            EventKind::ContentionStall => "contention_stall",
+            EventKind::LockWait => "cpage_lock_wait",
+            EventKind::ReplicaEvict => "replica_evict",
+            EventKind::FrameFree => "frame_free",
+            EventKind::DefrostRun => "defrost_run",
+            EventKind::LockAcquire => "lock_acquire",
+            EventKind::LockRelease => "lock_release",
+            EventKind::PolicyDecision => "policy",
+        }
+    }
+
+    /// True for kinds that pass through the kernel's `record` choke
+    /// point and are therefore mirrored one-for-one in the aggregate
+    /// counters. `BlockTransfer` and `ContentionStall` are emitted
+    /// directly by the simulated hardware below the kernel and have no
+    /// counter.
+    pub fn kernel_recorded(self) -> bool {
+        !matches!(self, EventKind::BlockTransfer | EventKind::ContentionStall)
+    }
+
+    /// Whether this kind's `page` payload is a coherent page id (the
+    /// per-Cpage timeline filters on this).
+    pub fn page_is_cpage(self) -> bool {
+        matches!(
+            self,
+            EventKind::FaultEnd
+                | EventKind::Replicate
+                | EventKind::Migrate
+                | EventKind::RemoteMap
+                | EventKind::Invalidate
+                | EventKind::Freeze
+                | EventKind::Thaw
+                | EventKind::ShootdownInit
+                | EventKind::Ipi
+                | EventKind::LockWait
+                | EventKind::ReplicaEvict
+                | EventKind::FrameFree
+                | EventKind::PolicyDecision
+        )
+    }
+}
+
+/// How a coherency fault was resolved (`code` of [`EventKind::FaultEnd`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FaultResolution {
+    /// First touch: fresh frame allocated and zero-filled.
+    FirstTouch = 0,
+    /// A local copy already satisfied the access (race or upgrade).
+    LocalHit = 1,
+    /// A new replica was created locally.
+    Replicated = 2,
+    /// The sole copy migrated to the local module.
+    Migrated = 3,
+    /// An existing remote copy was mapped (page may be frozen).
+    RemoteMapped = 4,
+}
+
+impl FaultResolution {
+    /// Decodes a discriminant produced by `res as u8`.
+    pub fn from_u8(v: u8) -> Option<FaultResolution> {
+        [
+            FaultResolution::FirstTouch,
+            FaultResolution::LocalHit,
+            FaultResolution::Replicated,
+            FaultResolution::Migrated,
+            FaultResolution::RemoteMapped,
+        ]
+        .get(v as usize)
+        .copied()
+    }
+
+    /// A short stable name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultResolution::FirstTouch => "first_touch",
+            FaultResolution::LocalHit => "local_hit",
+            FaultResolution::Replicated => "replicated",
+            FaultResolution::Migrated => "migrated",
+            FaultResolution::RemoteMapped => "remote_mapped",
+        }
+    }
+}
+
+/// One decoded trace event (the in-ring representation is five packed
+/// words; see [`crate::ring`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number: a total order consistent with each
+    /// emitting processor's program order.
+    pub seq: u64,
+    /// The emitting processor's virtual clock, ns.
+    pub vtime: u64,
+    /// The emitting processor.
+    pub proc: u16,
+    /// The tracer phase active when the event was emitted (an index
+    /// into [`crate::Trace::phases`]).
+    pub phase: u16,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific sub-code (see [`EventKind`]).
+    pub code: u8,
+    /// Kind-specific payload, usually a coherent page id.
+    pub page: u64,
+    /// Kind-specific payload (durations, modules, counts).
+    pub arg: u64,
+}

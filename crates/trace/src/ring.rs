@@ -1,0 +1,135 @@
+//! The per-processor event ring.
+//!
+//! One simulated processor is driven by one host thread at a time (the
+//! simulator's threading model), so each ring has a single producer.
+//! Storage is a flat array of `AtomicU64` written with relaxed stores
+//! followed by a release store of the push count; a reader that loads
+//! the count with acquire ordering sees fully written slots for every
+//! index below it. Readers are expected to snapshot after the run has
+//! quiesced — a snapshot taken mid-run may observe a slot being
+//! overwritten if the ring has wrapped, which corrupts at most the
+//! oldest surviving events, never the newest.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Words per encoded event: meta, vtime, page, arg, seq.
+const SLOT_WORDS: usize = 5;
+
+/// A fixed-capacity single-producer ring of encoded events.
+pub(crate) struct Ring {
+    slots: Box<[AtomicU64]>,
+    capacity: usize,
+    /// Total events ever pushed (not clamped to capacity).
+    pushed: AtomicU64,
+}
+
+impl Ring {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be nonzero");
+        let slots = (0..capacity * SLOT_WORDS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            capacity,
+            pushed: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if full. Single
+    /// producer only.
+    #[inline]
+    pub(crate) fn push(&self, e: TraceEvent) {
+        let n = self.pushed.load(Ordering::Relaxed);
+        let base = (n as usize % self.capacity) * SLOT_WORDS;
+        let meta =
+            e.kind as u64 | (e.code as u64) << 8 | (e.proc as u64) << 16 | (e.phase as u64) << 32;
+        self.slots[base].store(meta, Ordering::Relaxed);
+        self.slots[base + 1].store(e.vtime, Ordering::Relaxed);
+        self.slots[base + 2].store(e.page, Ordering::Relaxed);
+        self.slots[base + 3].store(e.arg, Ordering::Relaxed);
+        self.slots[base + 4].store(e.seq, Ordering::Relaxed);
+        self.pushed.store(n + 1, Ordering::Release);
+    }
+
+    /// Decodes the surviving events (oldest first) and the count of
+    /// overwritten ones.
+    pub(crate) fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
+        let pushed = self.pushed.load(Ordering::Acquire);
+        let kept = pushed.min(self.capacity as u64);
+        let dropped = pushed - kept;
+        let mut out = Vec::with_capacity(kept as usize);
+        for i in dropped..pushed {
+            let base = (i as usize % self.capacity) * SLOT_WORDS;
+            let meta = self.slots[base].load(Ordering::Relaxed);
+            let Some(kind) = EventKind::from_u8(meta as u8) else {
+                continue; // torn slot from a mid-run snapshot
+            };
+            out.push(TraceEvent {
+                kind,
+                code: (meta >> 8) as u8,
+                proc: (meta >> 16) as u16,
+                phase: (meta >> 32) as u16,
+                vtime: self.slots[base + 1].load(Ordering::Relaxed),
+                page: self.slots[base + 2].load(Ordering::Relaxed),
+                arg: self.slots[base + 3].load(Ordering::Relaxed),
+                seq: self.slots[base + 4].load(Ordering::Relaxed),
+            });
+        }
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ring: &Ring, seq: u64) {
+        ring.push(TraceEvent {
+            kind: EventKind::Freeze,
+            code: 0,
+            proc: 3,
+            phase: 1,
+            vtime: 100 + seq,
+            page: 42,
+            arg: 7,
+            seq,
+        });
+    }
+
+    #[test]
+    fn push_and_snapshot_roundtrip() {
+        let r = Ring::new(8);
+        for s in 0..5 {
+            ev(&r, s);
+        }
+        let (events, dropped) = r.snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[4].seq, 4);
+        assert_eq!(events[2].kind, EventKind::Freeze);
+        assert_eq!(events[2].proc, 3);
+        assert_eq!(events[2].phase, 1);
+        assert_eq!(events[2].page, 42);
+        assert_eq!(events[2].arg, 7);
+        assert_eq!(events[2].vtime, 102);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest() {
+        let r = Ring::new(4);
+        for s in 0..10 {
+            ev(&r, s);
+        }
+        let (events, dropped) = r.snapshot();
+        assert_eq!(dropped, 6);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+}

@@ -28,7 +28,8 @@ fn main() {
     ] {
         let run = run_gauss(style, 16, procs, &cfg);
         assert_eq!(
-            run.checksum, expected,
+            run.checksum,
+            expected,
             "{} computed a different matrix!",
             style.name()
         );

@@ -26,7 +26,10 @@ fn main() {
     for w in 0..8 {
         t0.write(base + 4 * w, (w as u32 + 1) * 11);
     }
-    println!("processor 0 wrote the page (vtime {} us)", t0.vtime() / 1000);
+    println!(
+        "processor 0 wrote the page (vtime {} us)",
+        t0.vtime() / 1000
+    );
     t0.suspend();
 
     // ...and threads on other processors read it. Each first read faults;

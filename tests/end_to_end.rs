@@ -25,12 +25,7 @@ fn gauss_all_styles_all_processor_counts_agree() {
     ] {
         for p in [1usize, 2, 5, 8] {
             let run = run_gauss(style, 8, p, &cfg);
-            assert_eq!(
-                run.checksum,
-                expected,
-                "{} diverged at p={p}",
-                style.name()
-            );
+            assert_eq!(run.checksum, expected, "{} diverged at p={p}", style.name());
         }
     }
 }
@@ -96,10 +91,7 @@ fn mergesort_sorts_on_both_machines_and_platinum_speeds_up() {
     // Verification happens inside the runners (they panic otherwise).
     let p1 = run_mergesort_platinum(8, 1, &cfg).elapsed_ns;
     let p8 = run_mergesort_platinum(8, 8, &cfg).elapsed_ns;
-    assert!(
-        p8 < p1,
-        "8 processors must beat 1: {p1} vs {p8}"
-    );
+    assert!(p8 < p1, "8 processors must beat 1: {p1} vs {p8}");
     let u8_ = run_mergesort_uma(8, 8, &cfg);
     assert!(u8_.elapsed_ns > 0);
 }
@@ -111,7 +103,10 @@ fn neural_freezes_pages_and_still_learns() {
         ..Default::default()
     };
     let (run, err) = run_neural(4, 4, &cfg);
-    assert!(run.kernel_stats.freezes > 0, "fine-grain sharing must freeze");
+    assert!(
+        run.kernel_stats.freezes > 0,
+        "fine-grain sharing must freeze"
+    );
     // Hogwild training is racy, but the encoder problem is easy: the
     // final error must be clearly below the untrained baseline (16
     // patterns x ~1.0 error each at initialization).

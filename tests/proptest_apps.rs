@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use platinum_repro::apps::gauss::{self, GaussConfig};
-use platinum_repro::apps::harness::{
-    run_gauss, run_mergesort_platinum, GaussStyle, PolicyKind,
-};
+use platinum_repro::apps::harness::{run_gauss, run_mergesort_platinum, GaussStyle, PolicyKind};
 use platinum_repro::apps::mergesort::SortConfig;
 
 proptest! {

@@ -11,6 +11,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 
+use platinum_repro::kernel::trace::{EventKind, TraceConfig, Tracer};
 use platinum_repro::kernel::{
     AceStyle, AlwaysReplicate, Kernel, NeverReplicate, PlatinumPolicy, ReplicationPolicy, Rights,
     UserCtx,
@@ -34,10 +35,16 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     let word = 0..(PAGES as u64 * WORDS_PER_PAGE);
     prop_oneof![
         (0..PROCS, word.clone()).prop_map(|(proc, word)| Op::Read { proc, word }),
-        (0..PROCS, word.clone(), any::<u32>())
-            .prop_map(|(proc, word, val)| Op::Write { proc, word, val }),
-        (0..PROCS, word, 1u32..100)
-            .prop_map(|(proc, word, delta)| Op::FetchAdd { proc, word, delta }),
+        (0..PROCS, word.clone(), any::<u32>()).prop_map(|(proc, word, val)| Op::Write {
+            proc,
+            word,
+            val
+        }),
+        (0..PROCS, word, 1u32..100).prop_map(|(proc, word, delta)| Op::FetchAdd {
+            proc,
+            word,
+            delta
+        }),
         (0..PROCS, 1u64..50).prop_map(|(proc, ms)| Op::AdvanceClock { proc, ms }),
         (0..PROCS).prop_map(|proc| Op::Defrost { proc }),
     ]
@@ -223,5 +230,94 @@ proptest! {
             fx.kernel.machine().frames_allocated(),
             "frames leaked or double-owned"
         );
+    }
+
+    /// Causal ordering of the traced event stream, under every policy:
+    /// freezes and thaws of a page strictly alternate (freeze first), a
+    /// fault that began always ends on the same processor with its begin
+    /// time in hand, and — for the paper's policy, which only freezes a
+    /// page whose invalidation history is hot — every freeze is preceded
+    /// by an invalidation of that same page. (`AceStyle` deliberately
+    /// freezes without invalidating, so that clause is Platinum-only.)
+    #[test]
+    fn trace_ordering_invariants(
+        which_policy in policy_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut fx = Fixture::new(which_policy);
+        let tracer = Tracer::new(TraceConfig::default());
+        prop_assert!(fx.kernel.install_tracer(Arc::clone(&tracer)));
+        for op in &ops {
+            match *op {
+                Op::Read { proc, word } => {
+                    let base = fx.base;
+                    let _ = fx.activate(proc).read(base + word * 4);
+                }
+                Op::Write { proc, word, val } => {
+                    let base = fx.base;
+                    fx.activate(proc).write(base + word * 4, val);
+                }
+                Op::FetchAdd { proc, word, delta } => {
+                    let base = fx.base;
+                    let _ = fx.activate(proc).fetch_add(base + word * 4, delta);
+                }
+                Op::AdvanceClock { proc, ms } => {
+                    fx.activate(proc).compute(ms * 1_000_000);
+                }
+                Op::Defrost { proc } => {
+                    let ctx = fx.activate(proc);
+                    let kernel = Arc::clone(ctx.kernel());
+                    kernel.run_defrost(ctx);
+                }
+            }
+        }
+
+        let trace = tracer.snapshot();
+        prop_assert_eq!(trace.dropped, 0, "ring overflow would void the ordering checks");
+        let mut events = trace.events.clone();
+        events.sort_by_key(|e| e.seq);
+
+        let mut frozen = std::collections::HashMap::new();
+        let mut invalidated = std::collections::HashSet::new();
+        let mut open_faults = std::collections::HashMap::new();
+        for e in &events {
+            match e.kind {
+                EventKind::Invalidate => {
+                    invalidated.insert(e.page);
+                }
+                EventKind::Freeze => {
+                    let f = frozen.entry(e.page).or_insert(false);
+                    prop_assert!(!*f, "page {} frozen twice with no thaw between", e.page);
+                    *f = true;
+                    if which_policy == 0 {
+                        prop_assert!(
+                            invalidated.contains(&e.page),
+                            "PlatinumPolicy froze page {} with no prior invalidation",
+                            e.page
+                        );
+                    }
+                }
+                EventKind::Thaw => {
+                    let f = frozen.entry(e.page).or_insert(false);
+                    prop_assert!(*f, "page {} thawed while not frozen", e.page);
+                    *f = false;
+                }
+                EventKind::FaultBegin => {
+                    let depth = open_faults.entry(e.proc).or_insert(0u32);
+                    prop_assert_eq!(*depth, 0, "nested fault on proc {}", e.proc);
+                    *depth = 1;
+                }
+                EventKind::FaultEnd => {
+                    let depth = open_faults.entry(e.proc).or_insert(0u32);
+                    prop_assert_eq!(*depth, 1, "fault end with no begin on proc {}", e.proc);
+                    *depth = 0;
+                    prop_assert!(e.arg <= e.vtime, "fault ended before it began");
+                }
+                _ => {}
+            }
+        }
+        for (proc, depth) in open_faults {
+            prop_assert_eq!(depth, 0, "proc {} left a fault open", proc);
+        }
     }
 }
