@@ -157,6 +157,24 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
     out
 }
 
+/// One-line ATC summary for a run's merged counters: probe counts and
+/// the hit rate. A high rate means the simulator served most accesses
+/// from the translation fast path; a low one means the workload spent
+/// its time faulting (shootdowns, freezes, invalidation storms).
+pub fn atc_summary(c: &numa_machine::AccessCounters) -> String {
+    let total = c.atc_hits + c.atc_misses;
+    if total == 0 {
+        return "ATC: no probes".to_string();
+    }
+    format!(
+        "ATC: {} probes, {} hits, {} misses ({:.2}% hit rate)",
+        total,
+        c.atc_hits,
+        c.atc_misses,
+        100.0 * c.atc_hits as f64 / total as f64
+    )
+}
+
 /// A minimal JSON writer for experiment artifacts (dependency-free; the
 /// benchmark binaries use it to emit machine-readable results alongside
 /// the text tables).
@@ -345,6 +363,17 @@ mod tests {
         let j = super::json::series_artifact("fig1", &[s]);
         assert!(j.contains("\"figure\":\"fig1\""));
         assert!(j.contains("[16,13.5]"));
+    }
+
+    #[test]
+    fn atc_summary_formats_rate() {
+        let mut c = numa_machine::AccessCounters::default();
+        assert_eq!(atc_summary(&c), "ATC: no probes");
+        c.atc_hits = 3;
+        c.atc_misses = 1;
+        let s = atc_summary(&c);
+        assert!(s.contains("4 probes"), "{s}");
+        assert!(s.contains("75.00% hit rate"), "{s}");
     }
 
     #[test]

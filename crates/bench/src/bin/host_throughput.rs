@@ -1,0 +1,306 @@
+//! Host-throughput benchmark: how many simulated memory references per
+//! host second the simulator sustains, with the translation fast path on
+//! versus forced off (`MachineConfig::fast_path = false`).
+//!
+//! Unlike every other binary in this crate, the numbers here are *host*
+//! wall-clock — virtual time is identical on both paths by construction
+//! (see the equivalence tests); only the cost of simulating each access
+//! changes. Three mixes bracket the design space:
+//!
+//!   * `all_local`  — ATC-resident reads/writes to local pages: the pure
+//!     fast-path regime the overhaul targets.
+//!   * `all_remote` — ATC-resident references to statically-placed remote
+//!     pages (NeverReplicate): fast path plus the contention model.
+//!   * `fault_heavy` — write ping-pong between two processors: every
+//!     reference migrates the page, so the kernel slow path dominates
+//!     and the fast path can only get out of the way.
+//!
+//! Usage:
+//!   host_throughput [--ops 4000000] [--rounds 20000] [--out FILE]
+//!                   [--check --baseline FILE [--tolerance 0.20]]
+//!
+//! `--out` writes a JSON artifact (default BENCH_host_throughput.json).
+//! `--check` compares each mix's fast-path MIPS against a baseline
+//! artifact and exits nonzero on a regression beyond the tolerance.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use numa_machine::{Machine, MachineConfig, Mem};
+use platinum::{Kernel, NeverReplicate, PlatinumPolicy, Rights, UserCtx};
+use platinum_analysis::report::json::Value;
+use platinum_analysis::report::Table;
+use platinum_bench::Args;
+
+fn machine(nodes: usize, fast_path: bool) -> Arc<Machine> {
+    Machine::new(MachineConfig {
+        nodes,
+        frames_per_node: 256,
+        skew_window_ns: None,
+        fast_path,
+        ..MachineConfig::default()
+    })
+    .expect("valid config")
+}
+
+struct MixResult {
+    name: &'static str,
+    ops: u64,
+    fast_mips: f64,
+    reference_mips: f64,
+}
+
+impl MixResult {
+    fn speedup(&self) -> f64 {
+        self.fast_mips / self.reference_mips
+    }
+}
+
+fn mips(ops: u64, secs: f64) -> f64 {
+    ops as f64 / 1e6 / secs
+}
+
+const PAGES: u64 = 4;
+
+/// The benchmark's access pattern: page `k % 4`, word `k % 64`, a write
+/// every fourth op. The pattern has period 64; it is precomputed so the
+/// measured loop charges the simulator, not the harness's address
+/// arithmetic.
+fn pattern(va: u64, page_bytes: u64) -> Vec<(u64, bool)> {
+    (0..64u64)
+        .map(|k| (va + (k % PAGES) * page_bytes + k * 4, k % 4 == 0))
+        .collect()
+}
+
+/// ATC-resident references to pages homed on the running processor.
+fn all_local(fast_path: bool, ops: u64) -> f64 {
+    // Returns elapsed host seconds for `ops` references (setup excluded).
+    let kernel = Kernel::new(machine(2, fast_path));
+    let space = kernel.create_space();
+    let object = kernel.create_object(PAGES as usize);
+    let va = space.map_anywhere(object, Rights::RW).unwrap();
+    let page_bytes = (kernel.machine().cfg().words_per_page() * 4) as u64;
+    let mut ctx = kernel.attach(space, 0, 0).unwrap();
+    for i in 0..PAGES {
+        ctx.write(va + i * page_bytes, i as u32); // first touch: local frame
+    }
+    let pat = pattern(va, page_bytes);
+    let rounds = ops.div_ceil(64);
+    let start = Instant::now();
+    let mut sum = 0u32;
+    for r in 0..rounds {
+        for &(a, write) in &pat {
+            if write {
+                ctx.write(a, r as u32);
+            } else {
+                sum = sum.wrapping_add(ctx.read(a));
+            }
+        }
+    }
+    std::hint::black_box(sum);
+    start.elapsed().as_secs_f64()
+}
+
+/// ATC-resident references to pages statically placed on a remote node.
+fn all_remote(fast_path: bool, ops: u64) -> f64 {
+    let kernel = Kernel::with_policy(machine(2, fast_path), Box::new(NeverReplicate));
+    let space = kernel.create_space();
+    let object = kernel.create_object(PAGES as usize);
+    let va = space.map_anywhere(object, Rights::RW).unwrap();
+    let page_bytes = (kernel.machine().cfg().words_per_page() * 4) as u64;
+    // First touch from processor 1 homes every page on node 1 ...
+    let mut owner = kernel.attach(Arc::clone(&space), 1, 0).unwrap();
+    for i in 0..PAGES {
+        owner.write(va + i * page_bytes, i as u32);
+    }
+    owner.suspend();
+    // ... so processor 0's references stay remote forever.
+    let mut ctx = kernel.attach(space, 0, 0).unwrap();
+    let pat = pattern(va, page_bytes);
+    let rounds = ops.div_ceil(64);
+    let start = Instant::now();
+    let mut sum = 0u32;
+    for _ in 0..rounds {
+        for &(a, _) in &pat {
+            sum = sum.wrapping_add(ctx.read(a));
+        }
+    }
+    std::hint::black_box(sum);
+    start.elapsed().as_secs_f64()
+}
+
+/// Write ping-pong: each reference invalidates the peer's copy and
+/// migrates the page, so the protocol slow path dominates.
+fn fault_heavy(fast_path: bool, rounds: u64) -> f64 {
+    let kernel = Kernel::with_policy(
+        machine(2, fast_path),
+        Box::new(PlatinumPolicy {
+            // Never freeze: keep every round on the full migrate path.
+            t1_ns: 0,
+            ..PlatinumPolicy::paper_default()
+        }),
+    );
+    let space = kernel.create_space();
+    let object = kernel.create_object(1);
+    let va = space.map_anywhere(object, Rights::RW).unwrap();
+    let mut a = kernel.attach(Arc::clone(&space), 0, 0).unwrap();
+    let mut b = kernel.attach(space, 1, 0).unwrap();
+    let ping = |w: &mut UserCtx, s: &mut UserCtx, val: u32| {
+        s.suspend();
+        w.write(va, val);
+        s.resume();
+    };
+    let start = Instant::now();
+    for k in 0..rounds {
+        ping(&mut a, &mut b, k as u32);
+        ping(&mut b, &mut a, k as u32);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Measures one mix with the two paths interleaved (fast, reference,
+/// fast, ...) and keeps each side's *fastest* slice. Interleaving lands
+/// host-side drift (frequency scaling, noisy neighbours) on both sides
+/// instead of on whichever ran second; taking the minimum discards the
+/// noise bursts that inflate a sum, which is what a throughput capability
+/// number should exclude.
+fn interleaved(name: &'static str, ops: u64, run: impl Fn(bool, u64) -> f64) -> MixResult {
+    const SLICES: u64 = 6;
+    let slice = (ops / SLICES).max(1);
+    let (mut fast_secs, mut ref_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..SLICES {
+        fast_secs = fast_secs.min(run(true, slice));
+        ref_secs = ref_secs.min(run(false, slice));
+    }
+    MixResult {
+        name,
+        ops,
+        fast_mips: mips(slice, fast_secs),
+        reference_mips: mips(slice, ref_secs),
+    }
+}
+
+fn run_mixes(ops: u64, rounds: u64) -> Vec<MixResult> {
+    vec![
+        interleaved("all_local", ops, all_local),
+        interleaved("all_remote", ops, all_remote),
+        interleaved("fault_heavy", rounds * 2, |fast, n| {
+            fault_heavy(fast, n / 2)
+        }),
+    ]
+}
+
+fn artifact(results: &[MixResult]) -> String {
+    Value::obj(vec![
+        ("bench", Value::Str("host_throughput".to_string())),
+        (
+            "unit",
+            Value::Str("simulated Mrefs per host second".to_string()),
+        ),
+        (
+            "mixes",
+            Value::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::obj(vec![
+                            ("name", Value::Str(r.name.to_string())),
+                            ("ops", Value::Num(r.ops as f64)),
+                            ("fast_mips", Value::Num(r.fast_mips)),
+                            ("reference_mips", Value::Num(r.reference_mips)),
+                            ("speedup", Value::Num(r.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json()
+}
+
+/// Pulls `"fast_mips":<number>` for `mix` out of a baseline artifact.
+/// Hand-rolled to match the hand-rolled writer; the format is ours.
+fn baseline_mips(json: &str, mix: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\":\"{mix}\""))?;
+    let rest = &json[at..];
+    let v = rest.find("\"fast_mips\":")? + "\"fast_mips\":".len();
+    let tail = &rest[v..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let args = Args::parse();
+    let ops = args.get_or("--ops", 2_000_000u64);
+    let rounds = args.get_or("--rounds", 20_000u64);
+    let out = args
+        .get::<String>("--out")
+        .unwrap_or_else(|| "BENCH_host_throughput.json".to_string());
+
+    println!("Host throughput: simulated references per host second\n");
+    let results = run_mixes(ops, rounds);
+
+    let mut table = Table::new(vec![
+        "mix",
+        "ops",
+        "fast (Mref/s)",
+        "reference (Mref/s)",
+        "speedup",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.name.to_string(),
+            r.ops.to_string(),
+            format!("{:.2}", r.fast_mips),
+            format!("{:.2}", r.reference_mips),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("{table}");
+
+    std::fs::write(&out, artifact(&results)).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("artifact written to {out}");
+
+    if args.flag("--check") {
+        let path: String = args.get("--baseline").expect("--check needs --baseline");
+        let tolerance = args.get_or("--tolerance", 0.20f64);
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let mut failed = false;
+        for r in &results {
+            let base = baseline_mips(&baseline, r.name)
+                .unwrap_or_else(|| panic!("{path} has no fast_mips for {}", r.name));
+            let floor = base * (1.0 - tolerance);
+            let verdict = if r.fast_mips < floor {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "check {:<12} {:.2} Mref/s vs baseline {:.2} (floor {:.2}): {}",
+                r.name, r.fast_mips, base, floor, verdict
+            );
+        }
+        if failed {
+            eprintln!(
+                "host throughput regressed more than {:.0}%",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::baseline_mips;
+
+    #[test]
+    fn baseline_parser_reads_own_artifact() {
+        let json = r#"{"bench":"host_throughput","mixes":[{"name":"all_local","ops":100,"fast_mips":12.5,"reference_mips":4.1,"speedup":3.04},{"name":"fault_heavy","fast_mips":0.25}]}"#;
+        assert_eq!(baseline_mips(json, "all_local"), Some(12.5));
+        assert_eq!(baseline_mips(json, "fault_heavy"), Some(0.25));
+        assert_eq!(baseline_mips(json, "missing"), None);
+    }
+}

@@ -38,10 +38,14 @@ fn main() {
     let trace = tracer.snapshot();
 
     println!(
-        "run: {:.1} ms, {} events traced ({} dropped)\n",
+        "run: {:.1} ms, {} events traced ({} dropped)",
         run.elapsed_ns as f64 / 1e6,
         trace.events.len(),
         trace.dropped
+    );
+    println!(
+        "{}\n",
+        platinum_analysis::report::atc_summary(&run.run.merged_counters())
     );
     println!("event totals:");
     for kind in EventKind::ALL {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use numa_machine::Vpn;
+use numa_machine::{procs_in_mask, Vpn};
 
 use crate::ids::{CpageId, Rights};
 
@@ -122,78 +122,143 @@ impl CmapMsg {
     }
 }
 
+/// Default number of directory shards. Power of two; tuned so sixteen
+/// faulting processors rarely collide on a shard lock.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Per-processor message queues are sized for the machine's hard limit of
+/// 64 processors (the refmask/target bitmask width); a Cmap does not know
+/// the actual processor count at construction.
+const MAX_PROCS: usize = 64;
+
+/// One directory shard: a lock over the VPN-to-entry map it stripes.
+type Shard = RwLock<HashMap<Vpn, Arc<CmapEntry>>>;
+
 /// The per-address-space Cmap: the virtual-to-coherent page table plus the
-/// queue of recent mapping-change messages (§2.3).
+/// queues of recent mapping-change messages (§2.3).
+///
+/// The directory is sharded by virtual page number so concurrent faults on
+/// different pages take different locks; consecutive pages land on
+/// different shards. Messages are delivered to a private queue per target
+/// processor, so a shootdown target drains its own queue without
+/// contending with initiators posting to other processors.
 pub struct Cmap {
-    /// Virtual-to-coherent entries, created lazily on first fault.
-    entries: RwLock<HashMap<Vpn, Arc<CmapEntry>>>,
+    /// Virtual-to-coherent entries, created lazily on first fault,
+    /// striped over `shards.len()` (a power of two) independent maps.
+    shards: Box<[Shard]>,
+    shard_mask: usize,
     /// "A queue of Cmap messages describing recent changes to the address
-    /// space." Messages whose target mask has drained are compacted away.
-    queue: Mutex<Vec<Arc<CmapMsg>>>,
+    /// space" — one per target processor. A message for several targets is
+    /// enqueued on each target's queue; queue `p` only ever holds messages
+    /// with `p`'s target bit set.
+    queues: Box<[Mutex<Vec<Arc<CmapMsg>>>]>,
 }
 
 impl Cmap {
-    /// An empty Cmap.
+    /// An empty Cmap with the default shard count.
     pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty Cmap with `shards` directory shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is not a nonzero power of two.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two() && shards > 0,
+            "Cmap shard count must be a nonzero power of two"
+        );
+        let mut s = Vec::with_capacity(shards);
+        s.resize_with(shards, || RwLock::new(HashMap::new()));
+        let mut q = Vec::with_capacity(MAX_PROCS);
+        q.resize_with(MAX_PROCS, || Mutex::new(Vec::new()));
         Self {
-            entries: RwLock::new(HashMap::new()),
-            queue: Mutex::new(Vec::new()),
+            shards: s.into_boxed_slice(),
+            shard_mask: shards - 1,
+            queues: q.into_boxed_slice(),
         }
+    }
+
+    /// The number of directory shards.
+    pub fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, vpn: Vpn) -> &RwLock<HashMap<Vpn, Arc<CmapEntry>>> {
+        &self.shards[(vpn as usize) & self.shard_mask]
     }
 
     /// Looks up the entry for `vpn`.
     pub fn entry(&self, vpn: Vpn) -> Option<Arc<CmapEntry>> {
-        self.entries.read().get(&vpn).cloned()
+        self.shard(vpn).read().get(&vpn).cloned()
     }
 
     /// Inserts an entry for `vpn`, returning the entry actually in the
     /// table (the existing one if another processor raced the insert).
     pub fn insert(&self, vpn: Vpn, entry: CmapEntry) -> Arc<CmapEntry> {
-        let mut map = self.entries.write();
+        let mut map = self.shard(vpn).write();
         Arc::clone(map.entry(vpn).or_insert_with(|| Arc::new(entry)))
     }
 
     /// Removes and returns the entry for `vpn` (unmap).
     pub fn remove(&self, vpn: Vpn) -> Option<Arc<CmapEntry>> {
-        self.entries.write().remove(&vpn)
+        self.shard(vpn).write().remove(&vpn)
     }
 
     /// All (vpn, entry) pairs; report and teardown support.
     pub fn snapshot(&self) -> Vec<(Vpn, Arc<CmapEntry>)> {
-        self.entries
-            .read()
-            .iter()
-            .map(|(v, e)| (*v, Arc::clone(e)))
-            .collect()
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.read();
+            out.extend(map.iter().map(|(v, e)| (*v, Arc::clone(e))));
+        }
+        out
     }
 
-    /// Posts a message to the queue.
+    /// Posts a message: it is enqueued on the private queue of every
+    /// processor in its (current) target mask.
     pub fn post(&self, msg: Arc<CmapMsg>) {
-        let mut q = self.queue.lock();
-        q.push(msg);
-        // Compact fully-acknowledged messages so the queue stays short.
-        q.retain(|m| m.pending() != 0);
+        for p in procs_in_mask(msg.pending()) {
+            let bit = 1u64 << p;
+            let mut q = self.queues[p].lock();
+            q.push(Arc::clone(&msg));
+            // Compact messages this target has already applied, so a
+            // queue that is never drained (idle processor) stays short.
+            q.retain(|m| m.pending() & bit != 0);
+        }
     }
 
-    /// Returns the messages with processor `p`'s bit still pending.
+    /// The messages still pending for processor `p`.
     ///
-    /// The caller applies each change to its own Pmap/ATC and then acks.
+    /// Non-destructive: the caller applies each change to its own
+    /// Pmap/ATC and then acks, which clears `p`'s target bit; the next
+    /// call compacts acknowledged messages out of the queue. Only `p`'s
+    /// private queue is locked, so targets never contend with initiators
+    /// posting to other processors.
     pub fn pending_for(&self, p: usize) -> Vec<Arc<CmapMsg>> {
         let bit = 1u64 << p;
-        let q = self.queue.lock();
-        q.iter()
-            .filter(|m| m.pending() & bit != 0)
-            .map(Arc::clone)
-            .collect()
+        let mut q = self.queues[p].lock();
+        if q.is_empty() {
+            return Vec::new();
+        }
+        q.retain(|m| m.pending() & bit != 0);
+        q.clone()
     }
 
-    /// Number of unacknowledged messages (tests and reporting).
+    /// Number of distinct unacknowledged messages (tests and reporting).
     pub fn queue_len(&self) -> usize {
-        self.queue
-            .lock()
-            .iter()
-            .filter(|m| m.pending() != 0)
-            .count()
+        let mut seen = std::collections::HashSet::new();
+        for q in self.queues.iter() {
+            for m in q.lock().iter() {
+                if m.pending() != 0 {
+                    seen.insert(Arc::as_ptr(m));
+                }
+            }
+        }
+        seen.len()
     }
 }
 
@@ -238,18 +303,47 @@ mod tests {
         c.post(Arc::clone(&m2));
         assert_eq!(c.queue_len(), 2);
 
+        // A message for two targets reaches both private queues.
         let pending0 = c.pending_for(0);
         assert_eq!(pending0.len(), 2);
         let pending1 = c.pending_for(1);
         assert_eq!(pending1.len(), 1);
         assert_eq!(pending1[0].vpn, 2);
 
+        // Queries are non-destructive until the target acks.
+        assert_eq!(c.pending_for(0).len(), 2);
+        assert_eq!(c.pending_for(1).len(), 1);
+
+        // Acked messages are compacted away by the next query/post.
         m1.ack(0, 1);
         m2.ack(0, 1);
+        assert!(c.pending_for(0).is_empty());
         m2.ack(1, 1);
-        // Compaction happens on the next post.
         c.post(CmapMsg::new(3, Directive::Invalidate, 0b1));
         assert_eq!(c.queue_len(), 1);
+    }
+
+    #[test]
+    fn posted_message_skips_non_targets() {
+        let c = Cmap::new();
+        c.post(CmapMsg::new(4, Directive::Invalidate, 0b100));
+        assert!(c.pending_for(0).is_empty());
+        assert!(c.pending_for(1).is_empty());
+        let p2 = c.pending_for(2);
+        assert_eq!(p2.len(), 1);
+        assert_eq!(p2[0].vpn, 4);
+    }
+
+    #[test]
+    fn acked_messages_are_compacted_not_delivered() {
+        let c = Cmap::new();
+        let m = CmapMsg::new(9, Directive::RestrictToRead, 0b11);
+        c.post(Arc::clone(&m));
+        // Target 1 somehow applied the change before draining (e.g. the
+        // mapping was torn down); its queue must not re-deliver.
+        m.ack(1, 10);
+        assert!(c.pending_for(1).is_empty());
+        assert_eq!(c.pending_for(0).len(), 1);
     }
 
     #[test]
@@ -261,5 +355,32 @@ mod tests {
         assert_eq!(b.cpage, CpageId(1));
         assert!(c.remove(9).is_some());
         assert!(c.entry(9).is_none());
+    }
+
+    #[test]
+    fn sharding_is_transparent() {
+        for shards in [1usize, 4, 16] {
+            let c = Cmap::with_shards(shards);
+            assert_eq!(c.nshards(), shards);
+            for vpn in 0..40u64 {
+                c.insert(vpn, CmapEntry::new(CpageId(vpn), Rights::RW));
+            }
+            let mut snap = c.snapshot();
+            snap.sort_by_key(|(v, _)| *v);
+            assert_eq!(snap.len(), 40);
+            for (i, (vpn, e)) in snap.iter().enumerate() {
+                assert_eq!(*vpn, i as u64);
+                assert_eq!(e.cpage, CpageId(i as u64));
+            }
+            assert!(c.entry(17).is_some());
+            assert!(c.remove(17).is_some());
+            assert!(c.entry(17).is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_shard_count_panics() {
+        let _ = Cmap::with_shards(12);
     }
 }

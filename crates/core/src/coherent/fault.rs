@@ -539,7 +539,8 @@ impl Kernel {
         self.charge_refs_local(ctx, self.config().costs.map_refs);
         ctx.pmap
             .enter(ctx.space.id(), vpn, crate::pmap::PmapEntry { pp, writable });
-        ctx.core.atc().insert(ctx.space.asid(), vpn, pp, writable);
+        let asid = ctx.space.asid();
+        ctx.core.atc_insert(asid, vpn, pp, writable);
         entry.set_ref(me);
         if writable {
             g.writer_mask |= 1u64 << me;

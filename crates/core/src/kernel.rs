@@ -46,6 +46,10 @@ pub struct KernelConfig {
     pub t2_defrost_ns: u64,
     /// Shootdown mechanism.
     pub shootdown: ShootdownMode,
+    /// Number of directory shards in each address space's Cmap (a nonzero
+    /// power of two). Purely a host-side concurrency knob: protocol
+    /// behaviour is identical at any shard count.
+    pub cmap_shards: usize,
 }
 
 impl Default for KernelConfig {
@@ -54,6 +58,7 @@ impl Default for KernelConfig {
             costs: KernelCosts::default(),
             t2_defrost_ns: 1_000_000_000,
             shootdown: ShootdownMode::PerProcessorPmap,
+            cmap_shards: crate::coherent::cmap::DEFAULT_SHARDS,
         }
     }
 }
@@ -188,7 +193,12 @@ impl Kernel {
         let mut spaces = self.spaces.write();
         let id = AsId(spaces.len() as u32);
         let home = id.index() % self.machine.nprocs();
-        let space = Arc::new(AddressSpace::new(id, home, self.machine.cfg().page_shift));
+        let space = Arc::new(AddressSpace::new(
+            id,
+            home,
+            self.machine.cfg().page_shift,
+            self.cfg.cmap_shards,
+        ));
         spaces.push(Arc::clone(&space));
         space
     }
@@ -294,7 +304,7 @@ impl Kernel {
         page: u64,
         arg: u64,
     ) {
-        self.stats.record(kind);
+        self.stats.record(proc, kind);
         #[cfg(feature = "trace")]
         if let Some(t) = self.machine.tracer() {
             t.emit(proc, vtime, kind, code, page, arg);

@@ -16,28 +16,63 @@ use platinum_trace::EventKind;
 use crate::coherent::cpage::{CpState, CpageTable};
 use crate::ids::CpageId;
 
+/// One processor's stripe of the kernel event counters, padded to its own
+/// cache lines so recording processors never false-share.
+#[repr(align(128))]
+struct StatsStripe {
+    counters: [AtomicU64; EventKind::COUNT],
+}
+
+impl Default for StatsStripe {
+    fn default() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The stripe count matches the machine's hard limit of 64 processors
+/// (the width of the protocol's bitmasks).
+const STRIPES: usize = 64;
+
 /// Machine-wide kernel event counters.
 ///
 /// One counter per [`EventKind`], incremented by [`Kernel::record`]
 /// (`crate::kernel`) — the same call that emits the event to the tracer,
 /// so counters and traces can never disagree: a count is exactly the
 /// number of events of that kind ever recorded.
-#[derive(Default)]
+///
+/// Counters are striped per recording processor: a record is one relaxed
+/// add on a processor-private cache line, and reads sum the stripes. This
+/// keeps the hot fault path free of cross-processor cache-line traffic.
 pub struct KernelStats {
-    counters: [AtomicU64; EventKind::COUNT],
+    stripes: Box<[StatsStripe]>,
+}
+
+impl Default for KernelStats {
+    fn default() -> Self {
+        let mut v = Vec::with_capacity(STRIPES);
+        v.resize_with(STRIPES, StatsStripe::default);
+        Self {
+            stripes: v.into_boxed_slice(),
+        }
+    }
 }
 
 impl KernelStats {
-    /// Counts one event of `kind`.
+    /// Counts one event of `kind`, recorded by processor `proc`.
     #[inline]
-    pub(crate) fn record(&self, kind: EventKind) {
-        self.counters[kind as usize].fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record(&self, proc: usize, kind: EventKind) {
+        self.stripes[proc & (STRIPES - 1)].counters[kind as usize].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The number of events of `kind` recorded so far.
+    /// The number of events of `kind` recorded so far (all processors).
     #[inline]
     pub fn count(&self, kind: EventKind) -> u64 {
-        self.counters[kind as usize].load(Ordering::Relaxed)
+        self.stripes
+            .iter()
+            .map(|s| s.counters[kind as usize].load(Ordering::Relaxed))
+            .sum()
     }
 
     /// A plain-value snapshot of the counters. The named fields select
@@ -265,17 +300,17 @@ mod tests {
     #[test]
     fn snapshot_reflects_records() {
         let s = KernelStats::default();
-        s.record(EventKind::FaultBegin);
-        s.record(EventKind::FaultBegin);
-        for _ in 0..5 {
-            s.record(EventKind::Ipi);
+        s.record(0, EventKind::FaultBegin);
+        s.record(1, EventKind::FaultBegin);
+        for p in 0..5 {
+            s.record(p, EventKind::Ipi);
         }
         let snap = s.snapshot();
-        assert_eq!(snap.faults, 2);
+        assert_eq!(snap.faults, 2, "counts sum across per-processor stripes");
         assert_eq!(snap.ipis_sent, 5);
         assert_eq!(snap.migrations, 0);
         // Kinds outside the named snapshot are still counted.
-        s.record(EventKind::LockWait);
+        s.record(63, EventKind::LockWait);
         assert_eq!(s.count(EventKind::LockWait), 1);
         let text = snap.to_string();
         assert!(text.contains("IPIs sent"));
@@ -284,10 +319,10 @@ mod tests {
     #[test]
     fn snapshot_delta() {
         let s = KernelStats::default();
-        s.record(EventKind::Freeze);
+        s.record(0, EventKind::Freeze);
         let before = s.snapshot();
-        s.record(EventKind::Freeze);
-        s.record(EventKind::Thaw);
+        s.record(2, EventKind::Freeze);
+        s.record(0, EventKind::Thaw);
         let after = s.snapshot();
         let d = after.delta(&before);
         assert_eq!(d.freezes, 1);

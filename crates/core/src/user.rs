@@ -3,7 +3,7 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use numa_machine::{AccessErr, AccessKind, Mem, PhysPage, ProcCore, Va, Vpn};
+use numa_machine::{AccessErr, AccessKind, FastPath, Mem, PhysPage, ProcCore, Va, Vpn};
 use platinum_trace::EventKind;
 
 use crate::coherent::cmap::Directive;
@@ -31,6 +31,9 @@ pub struct UserCtx {
     pub(crate) space: Arc<AddressSpace>,
     pub(crate) pmap: Pmap,
     page_shift: u32,
+    /// Cached `space.asid()`, kept in sync by [`UserCtx::switch_space`];
+    /// read on the access fast path.
+    asid: u32,
     thread: ThreadId,
 }
 
@@ -38,12 +41,14 @@ impl UserCtx {
     pub(crate) fn new(kernel: Arc<Kernel>, core: ProcCore, space: Arc<AddressSpace>) -> Self {
         let page_shift = kernel.machine().cfg().page_shift;
         let thread = kernel.threads.register(core.id(), space.id());
+        let asid = space.asid();
         let mut ctx = Self {
             kernel,
             core,
             space,
             pmap: Pmap::new(),
             page_shift,
+            asid,
             thread,
         };
         ctx.activate_space();
@@ -132,6 +137,7 @@ impl UserCtx {
     pub fn switch_space(&mut self, space: Arc<AddressSpace>) {
         self.deactivate_space();
         self.space = space;
+        self.asid = self.space.asid();
         self.activate_space();
         self.kernel.threads.set_space(self.thread, self.space.id());
     }
@@ -292,12 +298,41 @@ impl UserCtx {
                 }
             } else if let Some(e) = self.pmap.lookup(self.space.id(), vpn) {
                 if !write || e.writable {
-                    self.core.atc().insert(asid, vpn, e.pp, e.writable);
+                    self.core.atc_insert(asid, vpn, e.pp, e.writable);
                     return Ok(e.pp);
                 }
             }
             let kernel = Arc::clone(&self.kernel);
             kernel.coherent_fault(self, va, write)?;
+        }
+    }
+
+    /// Continues translation after a [`ProcCore::fast_path`] probe came
+    /// back [`FastPath::Miss`] (`missed`) or [`FastPath::NoRights`]
+    /// (`!missed`): picks up [`UserCtx::translate`]'s loop exactly where
+    /// the probe left it, so the fast path and the reference path perform
+    /// the same enter/probe/fault sequence access for access.
+    #[cold]
+    fn translate_after_probe(&mut self, va: Va, write: bool, missed: bool) -> Result<PhysPage> {
+        if missed {
+            let vpn = self.vpn_of(va);
+            if let Some(e) = self.pmap.lookup(self.space.id(), vpn) {
+                if !write || e.writable {
+                    self.core.atc_insert(self.asid, vpn, e.pp, e.writable);
+                    return Ok(e.pp);
+                }
+            }
+        }
+        let kernel = Arc::clone(&self.kernel);
+        kernel.coherent_fault(self, va, write)?;
+        self.translate(va, write)
+    }
+
+    #[cold]
+    fn after_probe_or_panic(&mut self, va: Va, write: bool, missed: bool) -> PhysPage {
+        match self.translate_after_probe(va, write, missed) {
+            Ok(pp) => pp,
+            Err(e) => panic!("unrecoverable memory access: {e}"),
         }
     }
 
@@ -362,59 +397,152 @@ impl Mem for UserCtx {
         self.core.charge_compute(ns);
     }
 
+    #[inline]
     fn read(&mut self, va: Va) -> u32 {
+        // Fast path: on an ATC hit with rights the whole access is one
+        // probe, one module reservation and one frame load — no Arc
+        // walks, no kernel call. Misses and rights faults fall back into
+        // the reference translation loop mid-iteration, so the sequence
+        // of enter()/probe/fault steps (and therefore every virtual-time
+        // charge and counter) is identical to the slow path below.
+        let word = self.word_of(va);
+        if self.core.fast_path_enabled() && va & 3 == 0 {
+            self.enter();
+            let vpn = self.vpn_of(va);
+            let missed = match self.core.fast_path(self.asid, vpn, false, AccessKind::Read) {
+                FastPath::Hit(frame) => return frame.load(word),
+                FastPath::Miss => true,
+                FastPath::NoRights => false,
+            };
+            let pp = self.after_probe_or_panic(va, false, missed);
+            self.core.charge_word_access(pp, AccessKind::Read);
+            return self.kernel.machine().frame_data(pp).load(word);
+        }
         let pp = self.translate_or_panic(va, false);
         self.core.charge_word_access(pp, AccessKind::Read);
-        self.kernel.machine().frame_data(pp).load(self.word_of(va))
+        self.kernel.machine().frame_data(pp).load(word)
     }
 
+    #[inline]
     fn write(&mut self, va: Va, val: u32) {
+        let word = self.word_of(va);
+        if self.core.fast_path_enabled() && va & 3 == 0 {
+            self.enter();
+            let vpn = self.vpn_of(va);
+            let missed = match self.core.fast_path(self.asid, vpn, true, AccessKind::Write) {
+                FastPath::Hit(frame) => return frame.store(word, val),
+                FastPath::Miss => true,
+                FastPath::NoRights => false,
+            };
+            let pp = self.after_probe_or_panic(va, true, missed);
+            self.core.charge_word_access(pp, AccessKind::Write);
+            return self.kernel.machine().frame_data(pp).store(word, val);
+        }
         let pp = self.translate_or_panic(va, true);
         self.core.charge_word_access(pp, AccessKind::Write);
-        self.kernel
-            .machine()
-            .frame_data(pp)
-            .store(self.word_of(va), val);
+        self.kernel.machine().frame_data(pp).store(word, val);
     }
 
+    #[inline]
     fn read_spin(&mut self, va: Va) -> u32 {
         // Uncharged: spin waiting is modelled analytically by the
         // synchronization primitives, but the access still exercises the
         // protocol (it faults, it can freeze pages).
+        let word = self.word_of(va);
+        if self.core.fast_path_enabled() && va & 3 == 0 {
+            self.enter();
+            let vpn = self.vpn_of(va);
+            let missed = match self.core.fast_probe(self.asid, vpn, false) {
+                FastPath::Hit(frame) => return frame.load(word),
+                FastPath::Miss => true,
+                FastPath::NoRights => false,
+            };
+            let pp = self.after_probe_or_panic(va, false, missed);
+            return self.kernel.machine().frame_data(pp).load(word);
+        }
         let pp = self.translate_or_panic(va, false);
-        self.kernel.machine().frame_data(pp).load(self.word_of(va))
+        self.kernel.machine().frame_data(pp).load(word)
     }
 
+    #[inline]
     fn fetch_add(&mut self, va: Va, delta: u32) -> u32 {
+        let word = self.word_of(va);
+        if self.core.fast_path_enabled() && va & 3 == 0 {
+            self.enter();
+            let vpn = self.vpn_of(va);
+            let missed = match self
+                .core
+                .fast_path(self.asid, vpn, true, AccessKind::Atomic)
+            {
+                FastPath::Hit(frame) => return frame.fetch_add(word, delta),
+                FastPath::Miss => true,
+                FastPath::NoRights => false,
+            };
+            let pp = self.after_probe_or_panic(va, true, missed);
+            self.core.charge_word_access(pp, AccessKind::Atomic);
+            return self.kernel.machine().frame_data(pp).fetch_add(word, delta);
+        }
         let pp = self.translate_or_panic(va, true);
         self.core.charge_word_access(pp, AccessKind::Atomic);
-        self.kernel
-            .machine()
-            .frame_data(pp)
-            .fetch_add(self.word_of(va), delta)
+        self.kernel.machine().frame_data(pp).fetch_add(word, delta)
     }
 
+    #[inline]
     fn compare_exchange(
         &mut self,
         va: Va,
         current: u32,
         new: u32,
     ) -> std::result::Result<u32, u32> {
+        let word = self.word_of(va);
+        if self.core.fast_path_enabled() && va & 3 == 0 {
+            self.enter();
+            let vpn = self.vpn_of(va);
+            let missed = match self
+                .core
+                .fast_path(self.asid, vpn, true, AccessKind::Atomic)
+            {
+                FastPath::Hit(frame) => return frame.compare_exchange(word, current, new),
+                FastPath::Miss => true,
+                FastPath::NoRights => false,
+            };
+            let pp = self.after_probe_or_panic(va, true, missed);
+            self.core.charge_word_access(pp, AccessKind::Atomic);
+            return self
+                .kernel
+                .machine()
+                .frame_data(pp)
+                .compare_exchange(word, current, new);
+        }
         let pp = self.translate_or_panic(va, true);
         self.core.charge_word_access(pp, AccessKind::Atomic);
         self.kernel
             .machine()
             .frame_data(pp)
-            .compare_exchange(self.word_of(va), current, new)
+            .compare_exchange(word, current, new)
     }
 
+    #[inline]
     fn swap(&mut self, va: Va, val: u32) -> u32 {
+        let word = self.word_of(va);
+        if self.core.fast_path_enabled() && va & 3 == 0 {
+            self.enter();
+            let vpn = self.vpn_of(va);
+            let missed = match self
+                .core
+                .fast_path(self.asid, vpn, true, AccessKind::Atomic)
+            {
+                FastPath::Hit(frame) => return frame.swap(word, val),
+                FastPath::Miss => true,
+                FastPath::NoRights => false,
+            };
+            let pp = self.after_probe_or_panic(va, true, missed);
+            self.core.charge_word_access(pp, AccessKind::Atomic);
+            return self.kernel.machine().frame_data(pp).swap(word, val);
+        }
         let pp = self.translate_or_panic(va, true);
         self.core.charge_word_access(pp, AccessKind::Atomic);
-        self.kernel
-            .machine()
-            .frame_data(pp)
-            .swap(self.word_of(va), val)
+        self.kernel.machine().frame_data(pp).swap(word, val)
     }
 
     fn poll(&mut self) {

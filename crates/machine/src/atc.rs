@@ -1,15 +1,21 @@
 //! The per-processor address translation cache (ATC).
 
 use crate::addr::{PhysPage, Vpn};
+use crate::frame::Frame;
+use crate::module::MemoryModule;
 
-/// One cached translation.
-#[derive(Clone, Copy, Debug)]
+/// One cached translation, with its resolved frame handle embedded and
+/// the whole entry aligned to a cache line, so a probe touches exactly
+/// one line.
+#[derive(Clone, Copy)]
+#[repr(align(64))]
 struct AtcEntry {
     valid: bool,
     asid: u32,
     vpn: Vpn,
     pp: PhysPage,
     writable: bool,
+    handle: FrameHandle,
 }
 
 const INVALID: AtcEntry = AtcEntry {
@@ -21,7 +27,62 @@ const INVALID: AtcEntry = AtcEntry {
         frame: 0,
     },
     writable: false,
+    handle: FrameHandle::NULL,
 };
+
+/// A resolved pointer to a translation's frame and home module, cached
+/// alongside the ATC entry so a hit can reach storage without walking
+/// `Machine::frame_data` (an Arc deref plus two slice indexes) on every
+/// access.
+///
+/// The pointers are borrowed from the [`crate::Machine`] that owns the
+/// frame. They stay valid for the machine's whole lifetime: `MemoryModule`
+/// allocates its `frames` array once at boot and never grows, shrinks or
+/// moves it — `free_frame` only retags the frame's inverted-page-table
+/// owner. A handle is only ever dereferenced by the processor core that
+/// installed it, which holds an `Arc<Machine>` keeping the storage alive.
+#[derive(Clone, Copy)]
+pub struct FrameHandle {
+    pub(crate) frame: *const Frame,
+    pub(crate) module: *const MemoryModule,
+    pub(crate) local: bool,
+}
+
+impl FrameHandle {
+    const NULL: FrameHandle = FrameHandle {
+        frame: std::ptr::null(),
+        module: std::ptr::null(),
+        local: false,
+    };
+
+    /// Whether the handle carries no resolved pointers (the entry was
+    /// installed through the plain [`Atc::insert`] path).
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.frame.is_null()
+    }
+}
+
+/// Hit/miss counters of an [`Atc`], for locality reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AtcStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that required a Pmap walk.
+    pub misses: u64,
+}
+
+impl AtcStats {
+    /// Hits as a fraction of all lookups (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// A direct-mapped software model of the MC68851's address translation
 /// cache.
@@ -36,12 +97,26 @@ const INVALID: AtcEntry = AtcEntry {
 /// costs nothing extra in the timing model (translation overlaps the
 /// access, as in the real MMU); misses are refilled from the per-processor
 /// Pmap by the kernel, which charges the walk.
+///
+/// Alongside each entry the cache can hold a [`FrameHandle`] — resolved
+/// frame/module pointers installed by [`Atc::insert_with_refs`] — so the
+/// owning processor's access fast path reaches storage without consulting
+/// the machine. Handles are slaved to their entry: any operation that
+/// invalidates or replaces an entry makes its handle unreachable (lookups
+/// check entry validity first) or nulls it.
 pub struct Atc {
     entries: Box<[AtcEntry]>,
     mask: usize,
     hits: u64,
     misses: u64,
 }
+
+// SAFETY: the raw pointers in `handles` point into a `Machine`'s frame
+// storage, which is `Sync` (frames are `AtomicU32` words) and immovable for
+// the machine's lifetime. An `Atc` is owned by one `ProcCore`, which holds
+// an `Arc<Machine>` keeping that storage alive, so moving the `Atc` to
+// another thread along with its core is sound.
+unsafe impl Send for Atc {}
 
 impl Atc {
     /// Creates an ATC with `entries` slots.
@@ -83,32 +158,88 @@ impl Atc {
         }
     }
 
+    /// Looks up the translation for (`asid`, `vpn`) and returns the cached
+    /// frame handle with it.
+    ///
+    /// Hit/miss accounting is identical to [`Atc::lookup`]; the handle may
+    /// be null when the entry was installed without resolved pointers, in
+    /// which case the caller falls back to resolving through the machine.
+    #[inline(always)]
+    pub fn lookup_with_handle(
+        &mut self,
+        asid: u32,
+        vpn: Vpn,
+    ) -> Option<(PhysPage, bool, FrameHandle)> {
+        let e = &self.entries[self.slot(asid, vpn)];
+        if e.valid && e.asid == asid && e.vpn == vpn {
+            self.hits += 1;
+            Some((e.pp, e.writable, e.handle))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
     /// Installs a translation, evicting whatever shared its slot.
+    ///
+    /// The slot's frame handle is nulled: fast-path hits on this entry
+    /// fall back to resolving the frame through the machine. Use
+    /// [`Atc::insert_with_refs`] to install a resolved handle.
     pub fn insert(&mut self, asid: u32, vpn: Vpn, pp: PhysPage, writable: bool) {
-        let slot = self.slot(asid, vpn);
-        self.entries[slot] = AtcEntry {
+        self.entries[self.slot(asid, vpn)] = AtcEntry {
             valid: true,
             asid,
             vpn,
             pp,
             writable,
+            handle: FrameHandle::NULL,
+        };
+    }
+
+    /// Installs a translation together with resolved frame/module
+    /// references, evicting whatever shared its slot.
+    ///
+    /// `frame` and `module` must be the storage backing `pp` on the machine
+    /// the owning processor belongs to; `local` is whether `pp` lives on
+    /// the processor's own node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_with_refs(
+        &mut self,
+        asid: u32,
+        vpn: Vpn,
+        pp: PhysPage,
+        writable: bool,
+        frame: &Frame,
+        module: &MemoryModule,
+        local: bool,
+    ) {
+        self.entries[self.slot(asid, vpn)] = AtcEntry {
+            valid: true,
+            asid,
+            vpn,
+            pp,
+            writable,
+            handle: FrameHandle {
+                frame: frame as *const Frame,
+                module: module as *const MemoryModule,
+                local,
+            },
         };
     }
 
     /// Invalidates the translation for (`asid`, `vpn`) if cached.
     pub fn invalidate(&mut self, asid: u32, vpn: Vpn) {
-        let slot = self.slot(asid, vpn);
-        let e = &mut self.entries[slot];
+        let e = &mut self.entries[self.slot(asid, vpn)];
         if e.valid && e.asid == asid && e.vpn == vpn {
             e.valid = false;
+            e.handle = FrameHandle::NULL;
         }
     }
 
     /// Downgrades the cached translation for (`asid`, `vpn`) to read-only
     /// if cached (the shootdown "restrict access rights" directive, §2.3).
     pub fn restrict_to_read(&mut self, asid: u32, vpn: Vpn) {
-        let slot = self.slot(asid, vpn);
-        let e = &mut self.entries[slot];
+        let e = &mut self.entries[self.slot(asid, vpn)];
         if e.valid && e.asid == asid && e.vpn == vpn {
             e.writable = false;
         }
@@ -120,6 +251,7 @@ impl Atc {
         for e in self.entries.iter_mut() {
             if e.valid && e.asid == asid {
                 e.valid = false;
+                e.handle = FrameHandle::NULL;
             }
         }
     }
@@ -128,12 +260,16 @@ impl Atc {
     pub fn flush_all(&mut self) {
         for e in self.entries.iter_mut() {
             e.valid = false;
+            e.handle = FrameHandle::NULL;
         }
     }
 
-    /// (hits, misses) counters since construction.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> AtcStats {
+        AtcStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 }
 
@@ -147,8 +283,9 @@ mod tests {
         assert_eq!(atc.lookup(1, 100), None);
         atc.insert(1, 100, PhysPage::new(2, 5), false);
         assert_eq!(atc.lookup(1, 100), Some((PhysPage::new(2, 5), false)));
-        let (h, m) = atc.stats();
-        assert_eq!((h, m), (1, 1));
+        let s = atc.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -191,6 +328,35 @@ mod tests {
         assert!(atc.lookup(2, 2).is_some());
         atc.flush_all();
         assert_eq!(atc.lookup(2, 2), None);
+    }
+
+    #[test]
+    fn handle_lifecycle() {
+        let frame = Frame::new(4);
+        let module = MemoryModule::new(0, 1, 4, 100_000);
+        let mut atc = Atc::new(8);
+
+        // Plain insert carries no handle; lookup_with_handle still counts.
+        atc.insert(1, 3, PhysPage::new(0, 0), true);
+        let (pp, w, h) = atc.lookup_with_handle(1, 3).expect("resident");
+        assert_eq!((pp, w), (PhysPage::new(0, 0), true));
+        assert!(h.is_null());
+
+        // insert_with_refs resolves the handle.
+        atc.insert_with_refs(1, 3, PhysPage::new(0, 0), true, &frame, &module, true);
+        let (_, _, h) = atc.lookup_with_handle(1, 3).expect("resident");
+        assert!(!h.is_null());
+        assert!(std::ptr::eq(h.frame, &frame));
+        assert!(std::ptr::eq(h.module, &module));
+        assert!(h.local);
+
+        // Invalidation hides the handle with the entry.
+        atc.invalidate(1, 3);
+        assert!(atc.lookup_with_handle(1, 3).is_none());
+
+        // Counting matches plain lookup: 2 hits, 1 miss so far.
+        let s = atc.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
     }
 
     #[test]

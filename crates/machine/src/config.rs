@@ -111,6 +111,14 @@ pub struct MachineConfig {
     /// comfortably exceed typical access latencies and sit well below the
     /// skew window.
     pub contention_bucket_ns: u64,
+    /// Whether processors may use the ATC frame-handle fast path: on an
+    /// ATC hit with sufficient rights, the access resolves through cached
+    /// frame/module pointers instead of walking the machine's tables. The
+    /// timing model, counters and traces are identical either way — this
+    /// only changes host-side work per simulated access. Disable to force
+    /// every access through the reference slow path (used by the
+    /// equivalence tests).
+    pub fast_path: bool,
 }
 
 impl Default for MachineConfig {
@@ -124,6 +132,7 @@ impl Default for MachineConfig {
             skew_window_ns: Some(2_000_000),
             publish_interval: 64,
             contention_bucket_ns: 100_000,
+            fast_path: true,
         }
     }
 }

@@ -40,6 +40,24 @@ const BUCKETS: usize = 64;
 const LOAD_BITS: u32 = 40;
 const LOAD_MASK: u64 = (1 << LOAD_BITS) - 1;
 
+/// A caller-owned memoization of the bucket containing a virtual clock,
+/// used by [`BucketedResource::reserve_with`] to keep the bucket-index
+/// division off per-access hot paths. The zero value is an always-stale
+/// cursor, so `Default` is a valid starting state for any resource.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BucketCursor {
+    /// Inclusive start of the memoized bucket, ns.
+    start: u64,
+    /// Width of the memoized bucket, ns (0 in the default state, so the
+    /// in-bucket test `now - start < span` never passes until seeded).
+    span: u64,
+    /// The memoized bucket's ring slot (`bucket % BUCKETS`).
+    slot: usize,
+    /// The memoized bucket's generation tag, pre-shifted into the slot
+    /// word's epoch field (`(bucket / BUCKETS) << LOAD_BITS`).
+    epoch_bits: u64,
+}
+
 /// A contended resource (a memory module's bus, the UMA machine's shared
 /// bus) with bucketed utilization accounting.
 pub struct BucketedResource {
@@ -118,6 +136,57 @@ impl BucketedResource {
         } else {
             0
         }
+    }
+
+    /// Like [`BucketedResource::reserve`], but with a caller-held cursor
+    /// memoizing the current bucket, for per-access hot paths.
+    ///
+    /// A virtual clock advances by tens to thousands of nanoseconds per
+    /// access while a bucket spans 100 us, so the `now / bucket_ns`
+    /// division — the most expensive instruction in an uncontended
+    /// reservation — is redundant for hundreds of consecutive calls. The
+    /// cursor skips it while `now` stays inside the memoized bucket, and
+    /// the common in-bucket case (same generation, already-seeded
+    /// bucket, no saturation clamp) books its service with a relaxed
+    /// load + store — exactly the state transition
+    /// [`BucketedResource::reserve`] would make. Every other case
+    /// (fresh bucket's backlog inheritance, generation change, clamp)
+    /// delegates to `reserve`, so in any deterministic schedule —
+    /// however processors interleave on one simulating thread — the
+    /// returned delay and the slot contents are identical to `reserve`,
+    /// call for call.
+    ///
+    /// Under *concurrent* simulation the unlocked store can lose a
+    /// racing processor's booking (two writes to one slot within the
+    /// same few host nanoseconds). That domain is already
+    /// schedule-nondeterministic, and the model explicitly tolerates
+    /// redistributing intra-bucket load; the loss is bounded by one
+    /// `service_ns` per race. All slow-path traffic (faults, kernel
+    /// references, block transfers) still books through the exact CAS
+    /// in `reserve`.
+    #[inline(always)]
+    pub fn reserve_with(&self, cursor: &mut BucketCursor, now: u64, service_ns: u64) -> u64 {
+        debug_assert!(service_ns <= LOAD_MASK);
+        if now.wrapping_sub(cursor.start) < cursor.span {
+            let cell = &self.slots[cursor.slot];
+            let cur = cell.load(Ordering::Relaxed);
+            // A generation mismatch leaves epoch bits set in `load`,
+            // pushing it past LOAD_MASK and into the fallback.
+            let load = cur ^ cursor.epoch_bits;
+            if load != 0 && load <= LOAD_MASK - service_ns {
+                cell.store(cur + service_ns, Ordering::Relaxed);
+                return (load + service_ns).saturating_sub(self.bucket_ns);
+            }
+            return self.reserve(now, service_ns);
+        }
+        let bucket = now / self.bucket_ns;
+        *cursor = BucketCursor {
+            start: bucket * self.bucket_ns,
+            span: self.bucket_ns,
+            slot: (bucket as usize) % BUCKETS,
+            epoch_bits: (bucket / BUCKETS as u64) << LOAD_BITS,
+        };
+        self.reserve(now, service_ns)
     }
 
     /// Reserves a long occupancy (e.g. a block transfer's bus time)
@@ -263,6 +332,59 @@ mod tests {
         // Traffic after the occupancy ends is free.
         let d3 = r.reserve(1_000_000, 600);
         assert_eq!(d3, 0);
+    }
+
+    #[test]
+    fn reserve_with_matches_reserve_call_for_call() {
+        // Every regime in one stream: in-bucket hits, bucket and epoch
+        // transitions, fresh-bucket backlog inheritance, overload, a
+        // non-monotonic clock (vtime can step backwards across kernel
+        // entries), and a far-future jump. The cursor path must agree
+        // with the reference path on every delay and on the final loads.
+        let with = BucketedResource::new(1000);
+        let without = BucketedResource::new(1000);
+        let mut cursor = BucketCursor::default();
+        let ring = 1000 * BUCKETS as u64;
+        let schedule: Vec<(u64, u64)> = std::iter::empty()
+            .chain((0..50).map(|i| (i * 37, 90))) // overload bucket 0
+            .chain((0..200).map(|i| (i * 40, 60))) // walk several buckets
+            .chain([(500, 80), (20, 40), (7000, 100)]) // jump back, then ahead
+            .chain((0..30).map(|i| (ring * 3 + i * 300, 70))) // epoch jump
+            .chain([(0, 50), (ring * 3 + 100, 50)]) // laggard, then return
+            .collect();
+        for &(now, service) in &schedule {
+            assert_eq!(
+                with.reserve_with(&mut cursor, now, service),
+                without.reserve(now, service),
+                "delay diverged at now={now} service={service}"
+            );
+        }
+        for &(now, _) in &schedule {
+            assert_eq!(
+                with.load_at(now),
+                without.load_at(now),
+                "load diverged at {now}"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_survives_saturation_clamp() {
+        // Drive a bucket's load to the LOAD_MASK clamp; the cursor path
+        // must keep matching the reference (it falls back rather than
+        // blindly adding into the clamped value).
+        let with = BucketedResource::new(10);
+        let without = BucketedResource::new(10);
+        let mut cursor = BucketCursor::default();
+        let big = LOAD_MASK / 4;
+        for _ in 0..8 {
+            assert_eq!(
+                with.reserve_with(&mut cursor, 5, big),
+                without.reserve(5, big)
+            );
+        }
+        assert_eq!(with.load_at(5), LOAD_MASK);
+        assert_eq!(without.load_at(5), LOAD_MASK);
     }
 
     #[test]

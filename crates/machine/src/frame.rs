@@ -110,8 +110,24 @@ impl Frame {
             src.len(),
             "block transfer between unequal frames"
         );
-        for i in 0..self.words.len() {
-            self.words[i].store(src.words[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        // A single memcpy instead of a per-word atomic loop. `AtomicU32`
+        // is documented to have the same in-memory representation as
+        // `u32`, so reading the source through `*const u32` is sound; the
+        // protocol guarantees no writer exists during a block transfer
+        // (write mappings are restricted first) and the destination frame
+        // is unmapped, so there is no concurrent access to either side.
+        // The `assert_ne!(src, dst)` in `ProcCore::block_transfer` (and
+        // the distinct-frame invariant of every other caller) guarantees
+        // the regions do not overlap.
+        if self.words.is_empty() || std::ptr::eq(self, src) {
+            return;
+        }
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.words[0].as_ptr() as *const u32,
+                self.words[0].as_ptr(),
+                self.words.len(),
+            );
         }
     }
 
@@ -130,8 +146,11 @@ impl Frame {
     /// Panics if the range is out of bounds.
     pub fn store_slice(&self, idx: usize, src: &[u32]) {
         assert!(idx + src.len() <= self.len(), "store_slice out of bounds");
-        for (i, &w) in src.iter().enumerate() {
-            self.words[idx + i].store(w, Ordering::Relaxed);
+        // One bounds check, then a straight zip: the compiler turns this
+        // into a vectorizable copy while every store stays a relaxed
+        // atomic (frozen pages allow concurrent readers of other words).
+        for (w, &v) in self.words[idx..idx + src.len()].iter().zip(src) {
+            w.store(v, Ordering::Relaxed);
         }
     }
 
@@ -142,8 +161,8 @@ impl Frame {
     /// Panics if the range is out of bounds.
     pub fn load_slice(&self, idx: usize, dst: &mut [u32]) {
         assert!(idx + dst.len() <= self.len(), "load_slice out of bounds");
-        for (i, w) in dst.iter_mut().enumerate() {
-            *w = self.words[idx + i].load(Ordering::Relaxed);
+        for (w, v) in self.words[idx..idx + dst.len()].iter().zip(dst) {
+            *v = w.load(Ordering::Relaxed);
         }
     }
 }

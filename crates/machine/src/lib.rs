@@ -46,11 +46,12 @@ pub mod uma;
 mod machine;
 
 pub use addr::{proc_bit, procs_in_mask, AccessErr, PhysPage, ProcId, Va, Vpn};
-pub use atc::Atc;
+pub use atc::{Atc, AtcStats};
 pub use config::{MachineConfig, TimingConfig};
+pub use contention::{BucketCursor, BucketedResource};
 pub use frame::Frame;
 pub use machine::Machine;
 pub use mem_iface::Mem;
 pub use module::MemoryModule;
-pub use proc::{AccessKind, ProcCore, ProcShared};
+pub use proc::{AccessKind, FastPath, ProcCore, ProcShared};
 pub use stats::AccessCounters;

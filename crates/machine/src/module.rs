@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::contention::BucketedResource;
+use crate::contention::{BucketCursor, BucketedResource};
 use crate::frame::Frame;
 
 /// The inverted-page-table tag of a free frame.
@@ -180,6 +180,15 @@ impl MemoryModule {
     /// relieve.
     pub fn reserve(&self, now: u64, service_ns: u64) -> u64 {
         now + self.bus.reserve(now, service_ns)
+    }
+
+    /// [`Self::reserve`] with a caller-owned [`BucketCursor`] memoizing
+    /// the clock's current contention bucket. Identical result; the
+    /// cursor merely keeps the bucket-index division off the per-access
+    /// hot path (see `BucketedResource::reserve_with`).
+    #[inline(always)]
+    pub fn reserve_with(&self, cursor: &mut BucketCursor, now: u64, service_ns: u64) -> u64 {
+        now + self.bus.reserve_with(cursor, now, service_ns)
     }
 
     /// Reserves the block-transfer engine and the module bus for a

@@ -3,8 +3,11 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::addr::{PhysPage, ProcId};
-use crate::atc::Atc;
+use crate::addr::{PhysPage, ProcId, Vpn};
+use crate::atc::{Atc, AtcStats};
+use crate::config::TimingConfig;
+use crate::contention::BucketCursor;
+use crate::frame::Frame;
 use crate::machine::Machine;
 use crate::stats::AccessCounters;
 
@@ -57,7 +60,7 @@ impl ProcShared {
     }
 
     /// Consumes the doorbell, returning whether it was rung.
-    #[inline]
+    #[inline(always)]
     pub fn take_ipi(&self) -> bool {
         // Fast path: a relaxed read avoids the RMW when no IPI is pending.
         self.ipi_pending.load(Ordering::Relaxed) && self.ipi_pending.swap(false, Ordering::Acquire)
@@ -89,6 +92,43 @@ pub struct ProcCore {
     /// primitive; waiting processors publish [`IDLE`] so the skew window
     /// never throttles working processors against a frozen clock.
     waiting: bool,
+    /// Copy of the machine's timing table, so the fast path charges
+    /// without chasing `Arc<Machine>` → config on every access. The
+    /// configuration is immutable after boot, so the copy never drifts.
+    timing: TimingConfig,
+    /// Cached `MachineConfig::publish_interval`, read on every access by
+    /// [`ProcCore::tick`].
+    publish_interval: u32,
+    /// Cached `MachineConfig::fast_path`.
+    fast_enabled: bool,
+    /// Per-module contention-bucket cursors (indexed by module id),
+    /// keeping the bucket-index division off the fast path. Purely a
+    /// host-side memoization: `reserve_with` is result-identical to
+    /// `reserve`.
+    cursors: Box<[BucketCursor]>,
+    /// Cached `&machine.shared(id)`, so the per-access IPI poll skips
+    /// the `Arc` walk and bounds check. Valid for the core's lifetime:
+    /// the `Arc<Machine>` above keeps the (immovable) shared array alive.
+    shared: *const ProcShared,
+}
+
+// SAFETY: `shared` points into the `Machine` owned by the core's own
+// `Arc`, which moves with it; `ProcShared` itself is `Sync` (atomics).
+unsafe impl Send for ProcCore {}
+
+/// The outcome of a [`ProcCore::fast_path`] probe.
+pub enum FastPath<'a> {
+    /// ATC hit with sufficient rights: the access has been charged
+    /// (identically to [`ProcCore::charge_word_access`]) and the caller
+    /// performs the data movement on the returned frame.
+    Hit(&'a Frame),
+    /// ATC hit, but the access is a write and the cached entry is
+    /// read-only. Nothing was charged; the caller takes the protection
+    /// fault exactly as the slow path would.
+    NoRights,
+    /// ATC miss. Nothing was charged beyond the miss count; the caller
+    /// refills from the Pmap or faults, exactly as the slow path would.
+    Miss,
 }
 
 impl ProcCore {
@@ -102,6 +142,11 @@ impl ProcCore {
         assert!(id < machine.nprocs(), "processor {id} out of range");
         let atc = Atc::new(machine.cfg().atc_entries);
         machine.shared(id).publish(start);
+        let timing = machine.cfg().timing.clone();
+        let publish_interval = machine.cfg().publish_interval;
+        let fast_enabled = machine.cfg().fast_path;
+        let cursors = vec![BucketCursor::default(); machine.cfg().nodes].into_boxed_slice();
+        let shared = machine.shared(id) as *const ProcShared;
         Self {
             machine,
             id,
@@ -110,6 +155,11 @@ impl ProcCore {
             counters: AccessCounters::default(),
             accesses_since_publish: 0,
             waiting: false,
+            timing,
+            publish_interval,
+            fast_enabled,
+            cursors,
+            shared,
         }
     }
 
@@ -170,10 +220,21 @@ impl ProcCore {
     /// The processor's access counters so far.
     pub fn counters(&self) -> AccessCounters {
         let mut c = self.counters.clone();
-        let (h, m) = self.atc.stats();
-        c.atc_hits = h;
-        c.atc_misses = m;
+        let s = self.atc.stats();
+        c.atc_hits = s.hits;
+        c.atc_misses = s.misses;
         c
+    }
+
+    /// The ATC's hit/miss counters, without requiring `&mut self`.
+    pub fn atc_stats(&self) -> AtcStats {
+        self.atc.stats()
+    }
+
+    /// Whether the machine's configuration enables the access fast path.
+    #[inline]
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast_enabled
     }
 
     /// Mutable access to the counters, for the kernel to record faults.
@@ -182,9 +243,11 @@ impl ProcCore {
     }
 
     /// Whether this processor's IPI doorbell is rung, consuming it.
-    #[inline]
+    #[inline(always)]
     pub fn take_ipi(&self) -> bool {
-        self.machine.shared(self.id).take_ipi()
+        // SAFETY: `shared` was resolved from `self.machine` at
+        // construction and that Arc keeps the array alive and in place.
+        unsafe { (*self.shared).take_ipi() }
     }
 
     /// Publishes the clock and reports whether the skew window requires
@@ -226,10 +289,10 @@ impl ProcCore {
     /// Periodic publication bookkeeping; returns true every
     /// `publish_interval` accesses so the caller can run the (slightly
     /// more expensive) throttle check.
-    #[inline]
+    #[inline(always)]
     pub fn tick(&mut self) -> bool {
         self.accesses_since_publish += 1;
-        if self.accesses_since_publish >= self.machine.cfg().publish_interval {
+        if self.accesses_since_publish >= self.publish_interval {
             self.accesses_since_publish = 0;
             true
         } else {
@@ -270,6 +333,94 @@ impl ProcCore {
             (false, AccessKind::Write) => self.counters.remote_writes += 1,
             (false, AccessKind::Atomic) => self.counters.remote_atomics += 1,
         }
+    }
+
+    /// Installs an ATC translation with a resolved frame handle, so hits
+    /// on it can take the access fast path.
+    ///
+    /// Functionally identical to `core.atc().insert(..)`; the only
+    /// difference is host-side (the cached pointers).
+    pub fn atc_insert(&mut self, asid: u32, vpn: Vpn, pp: PhysPage, writable: bool) {
+        let local = pp.module_id() == self.id;
+        let module = self.machine.module(pp.module_id());
+        let frame = module.frame(pp.frame_id());
+        self.atc
+            .insert_with_refs(asid, vpn, pp, writable, frame, module, local);
+    }
+
+    /// The single-word access fast path: one ATC probe that, on a hit with
+    /// sufficient rights, charges the access through the entry's cached
+    /// frame handle and hands the frame straight back — no machine table
+    /// walk, no kernel involvement.
+    ///
+    /// Every observable effect (virtual time, queue-delay and access
+    /// counters, ATC hit/miss counts, module reservations) is identical to
+    /// the reference path of `atc().lookup(..)`, [`Self::charge_word_access`],
+    /// and `Machine::frame_data`. On [`FastPath::NoRights`] or
+    /// [`FastPath::Miss`] nothing is charged and the caller continues
+    /// exactly where the slow path would (protection fault, or Pmap
+    /// refill/fault respectively).
+    #[inline(always)]
+    pub fn fast_path(
+        &mut self,
+        asid: u32,
+        vpn: Vpn,
+        write: bool,
+        kind: AccessKind,
+    ) -> FastPath<'_> {
+        let Some((pp, writable, h)) = self.atc.lookup_with_handle(asid, vpn) else {
+            return FastPath::Miss;
+        };
+        if write && !writable {
+            return FastPath::NoRights;
+        }
+        if h.is_null() {
+            // Entry installed without resolved pointers (plain insert):
+            // charge through the machine as the slow path does.
+            self.charge_word_access(pp, kind);
+            return FastPath::Hit(self.machine.frame_data(pp));
+        }
+        // SAFETY: the handle was installed by `atc_insert` on this core
+        // from this machine's own storage. Frames and modules are
+        // allocated once at boot and never move or free (`free_frame`
+        // only retags the inverted page table), and `self.machine` keeps
+        // them alive for at least the returned borrow's lifetime.
+        let (frame, module) = unsafe { (&*h.frame, &*h.module) };
+        let local = h.local;
+        let latency = self.timing.word_latency(local, kind);
+        let service = self.timing.service_time(local);
+        let cursor = &mut self.cursors[pp.module_id()];
+        let start = module.reserve_with(cursor, self.vtime, service);
+        self.counters.queue_delay_ns += start - self.vtime;
+        self.vtime = start + latency;
+        match (local, kind) {
+            (true, AccessKind::Read) => self.counters.local_reads += 1,
+            (true, AccessKind::Write) => self.counters.local_writes += 1,
+            (true, AccessKind::Atomic) => self.counters.local_atomics += 1,
+            (false, AccessKind::Read) => self.counters.remote_reads += 1,
+            (false, AccessKind::Write) => self.counters.remote_writes += 1,
+            (false, AccessKind::Atomic) => self.counters.remote_atomics += 1,
+        }
+        FastPath::Hit(frame)
+    }
+
+    /// An uncharged variant of [`Self::fast_path`], for spin reads: the
+    /// ATC probe counts identically and the frame is resolved the same
+    /// way, but no virtual time or access counters are charged.
+    #[inline(always)]
+    pub fn fast_probe(&mut self, asid: u32, vpn: Vpn, write: bool) -> FastPath<'_> {
+        let Some((pp, writable, h)) = self.atc.lookup_with_handle(asid, vpn) else {
+            return FastPath::Miss;
+        };
+        if write && !writable {
+            return FastPath::NoRights;
+        }
+        if h.is_null() {
+            return FastPath::Hit(self.machine.frame_data(pp));
+        }
+        // SAFETY: as in `fast_path` — the handle points into this
+        // machine's immovable frame storage, kept alive by `self.machine`.
+        FastPath::Hit(unsafe { &*h.frame })
     }
 
     /// Charges `n` consecutive word accesses to the module holding `pp`,
@@ -460,6 +611,60 @@ mod tests {
         // pivot-row contention in Gaussian elimination (§5.1).
         let occupancy = 1024 * 1100 * 75 / 100;
         assert_eq!(b.counters().queue_delay_ns, occupancy);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_path() {
+        let m = machine(2);
+        let mut fast = ProcCore::new(Arc::clone(&m), 0, 0);
+        let mut slow = ProcCore::new(Arc::clone(&m), 0, 0);
+        let local = PhysPage::new(0, 0);
+        let remote = PhysPage::new(1, 0);
+        fast.atc_insert(7, 10, local, true);
+        fast.atc_insert(7, 11, remote, false);
+        slow.atc().insert(7, 10, local, true);
+        slow.atc().insert(7, 11, remote, false);
+
+        // Same access sequence through both paths. Module utilization
+        // stays far below a contention bucket, so the shared modules do
+        // not couple the two cores' clocks.
+        let seq = [
+            (10, false, AccessKind::Read),
+            (10, true, AccessKind::Write),
+            (11, false, AccessKind::Read),
+        ];
+        for (vpn, write, kind) in seq {
+            assert!(matches!(
+                fast.fast_path(7, vpn, write, kind),
+                FastPath::Hit(_)
+            ));
+            let (pp, _) = slow.atc().lookup(7, vpn).expect("resident");
+            slow.charge_word_access(pp, kind);
+        }
+        assert_eq!(fast.vtime(), slow.vtime());
+        let (cf, cs) = (fast.counters(), slow.counters());
+        assert_eq!(cf.local_reads, cs.local_reads);
+        assert_eq!(cf.local_writes, cs.local_writes);
+        assert_eq!(cf.remote_reads, cs.remote_reads);
+        assert_eq!(cf.queue_delay_ns, cs.queue_delay_ns);
+
+        // Writes through a read-only entry and misses charge nothing.
+        let before = fast.vtime();
+        assert!(matches!(
+            fast.fast_path(7, 11, true, AccessKind::Write),
+            FastPath::NoRights
+        ));
+        assert!(matches!(
+            fast.fast_path(7, 99, false, AccessKind::Read),
+            FastPath::Miss
+        ));
+        assert_eq!(fast.vtime(), before);
+
+        // Fast-path data movement reaches the same storage.
+        if let FastPath::Hit(f) = fast.fast_path(7, 10, true, AccessKind::Write) {
+            f.store(3, 0xfeed);
+        }
+        assert_eq!(m.frame_data(local).load(3), 0xfeed);
     }
 
     #[test]

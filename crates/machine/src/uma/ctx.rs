@@ -240,6 +240,69 @@ impl Mem for UmaCtx {
         self.machine.bump_line_version(idx);
         old
     }
+
+    fn read_block(&mut self, va: Va, dst: &mut [u32]) {
+        if dst.is_empty() {
+            return;
+        }
+        self.tick();
+        let idx = self.word_index(va);
+        let _ = self.word_index(va + 4 * (dst.len() as u64 - 1));
+        let t = self.machine.cfg().timing.clone();
+        let wpl = self.machine.cfg().words_per_line();
+        let lines = (idx % wpl + dst.len()).div_ceil(wpl) as u64;
+        // A burst transfer arbitrates for the bus once and streams the
+        // lines, instead of paying one bus transaction per word as the
+        // word-at-a-time default would.
+        let start = self
+            .machine
+            .bus_reserve(self.vtime, lines * t.bus_line_service_ns);
+        self.counters.queue_delay_ns += start - self.vtime;
+        self.vtime = start + lines * t.miss_ns;
+        self.counters.remote_reads += dst.len() as u64;
+        for (i, w) in dst.iter_mut().enumerate() {
+            *w = self.machine.word(idx + i).load(Ordering::Acquire);
+        }
+        // The stream leaves its lines resident, as per-word reads would.
+        let mut line_start = idx - idx % wpl;
+        while line_start < idx + dst.len() {
+            let version = self.machine.line_version(line_start);
+            self.cache.fill(self.line_of(line_start), version);
+            line_start += wpl;
+        }
+    }
+
+    fn write_block(&mut self, va: Va, src: &[u32]) {
+        if src.is_empty() {
+            return;
+        }
+        self.tick();
+        let idx = self.word_index(va);
+        let _ = self.word_index(va + 4 * (src.len() as u64 - 1));
+        let t = self.machine.cfg().timing.clone();
+        let wpl = self.machine.cfg().words_per_line();
+        let lines = (idx % wpl + src.len()).div_ceil(wpl) as u64;
+        for (i, &w) in src.iter().enumerate() {
+            self.machine.word(idx + i).store(w, Ordering::Release);
+        }
+        // One version bump per touched line invalidates every other
+        // cache's copy; our own copy is refreshed below.
+        let mut line_start = idx - idx % wpl;
+        while line_start < idx + src.len() {
+            let version = self.machine.bump_line_version(line_start);
+            let line = self.line_of(line_start);
+            if self.cache.resident(line) {
+                self.cache.fill(line, version);
+            }
+            line_start += wpl;
+        }
+        let start = self
+            .machine
+            .bus_reserve(self.vtime, src.len() as u64 * t.bus_word_service_ns);
+        self.counters.queue_delay_ns += start - self.vtime;
+        self.vtime = start + lines * t.write_ns;
+        self.counters.remote_writes += src.len() as u64;
+    }
 }
 
 impl Drop for UmaCtx {
@@ -322,6 +385,50 @@ mod tests {
         assert_eq!(a.read(0), 2);
         assert_eq!(b.compare_exchange(0, 2, 5), Ok(2));
         assert_eq!(a.swap(0, 9), 5);
+    }
+
+    #[test]
+    fn block_transfer_charges_bus_once() {
+        let mut c = ctx();
+        let data: Vec<u32> = (0..64).map(|i| i * 3 + 1).collect();
+        let t0 = c.vtime();
+        c.write_block(0, &data);
+        let write_cost = c.vtime() - t0;
+        let t = c.machine().cfg().timing.clone();
+        assert!(
+            write_cost < 64 * t.write_ns,
+            "burst write must beat 64 write-throughs: {write_cost}"
+        );
+        let mut out = vec![0u32; 64];
+        let t1 = c.vtime();
+        c.read_block(0, &mut out);
+        assert_eq!(out, data);
+        assert!(
+            c.vtime() - t1 < 64 * t.miss_ns,
+            "burst read must beat 64 line misses"
+        );
+        // The stream leaves its lines resident: the next read is a hit.
+        let before = c.vtime();
+        let _ = c.read(0);
+        assert_eq!(c.vtime() - before, t.hit_ns);
+    }
+
+    #[test]
+    fn block_write_invalidates_other_caches() {
+        let m = UmaMachine::new(UmaConfig {
+            procs: 2,
+            mem_words: 4096,
+            ..UmaConfig::default()
+        })
+        .unwrap();
+        let mut a = UmaCtx::new(Arc::clone(&m), 0);
+        let mut b = UmaCtx::new(Arc::clone(&m), 1);
+        let _ = b.read(0);
+        a.write_block(0, &[11, 22, 33]);
+        assert_eq!(b.read(0), 11, "must observe the block write");
+        let mut out = [0u32; 2];
+        b.read_block(4, &mut out);
+        assert_eq!(out, [22, 33]);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property test: the translation fast path is observationally identical
+//! to the reference charging path.
+//!
+//! For any random page table (local/remote placement, rights, handle or
+//! no handle) and any random access sequence, replaying the sequence
+//! through [`ProcCore::fast_path`] must produce the same operation
+//! results, the same final virtual time, the same access counters
+//! (including ATC hit/miss counts) and the same memory contents as the
+//! reference `Atc::lookup` + `charge_word_access` + `frame_data` steps.
+
+use std::sync::Arc;
+
+use numa_machine::{AccessKind, FastPath, Machine, MachineConfig, PhysPage, ProcCore};
+use proptest::prelude::*;
+
+fn machine(fast_path: bool) -> Arc<Machine> {
+    Machine::new(MachineConfig {
+        nodes: 2,
+        frames_per_node: 16,
+        skew_window_ns: None,
+        fast_path,
+        ..MachineConfig::default()
+    })
+    .expect("valid config")
+}
+
+const ASID: u32 = 7;
+/// Mapped virtual pages; the op generator also probes two unmapped vpns.
+const NPAGES: u64 = 8;
+
+/// Installs the same translations in both cores. The fast core
+/// alternates between handle-carrying inserts and plain ATC inserts
+/// (the latter exercises the null-handle fallback inside `fast_path`).
+fn install(fast: &mut ProcCore, slow: &mut ProcCore, pages: &[(u8, bool, bool)]) -> Vec<PhysPage> {
+    let mut pps = Vec::new();
+    for (vpn, &(node, writable, with_handle)) in pages.iter().enumerate() {
+        let pp = PhysPage::new(node as usize % 2, vpn);
+        if with_handle {
+            fast.atc_insert(ASID, vpn as u64, pp, writable);
+        } else {
+            fast.atc().insert(ASID, vpn as u64, pp, writable);
+        }
+        slow.atc().insert(ASID, vpn as u64, pp, writable);
+        pps.push(pp);
+    }
+    pps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fast_path_is_observationally_identical(
+        pages in prop::collection::vec(
+            (0u8..2, any::<bool>(), any::<bool>()),
+            NPAGES as usize..NPAGES as usize + 1,
+        ),
+        ops in prop::collection::vec(
+            (0u64..NPAGES + 2, 0u8..5, any::<u32>()),
+            1..200,
+        ),
+    ) {
+        // Each core runs alone on its own machine, so the shared-module
+        // contention model cannot couple their clocks.
+        let mf = machine(true);
+        let ms = machine(true);
+        let mut fast = ProcCore::new(Arc::clone(&mf), 0, 0);
+        let mut slow = ProcCore::new(Arc::clone(&ms), 0, 0);
+        install(&mut fast, &mut slow, &pages);
+        let wpp = mf.cfg().words_per_page();
+
+        for &(vpn, op, val) in &ops {
+            let (write, kind) = match op {
+                0 => (false, AccessKind::Read),
+                1 => (true, AccessKind::Write),
+                _ => (true, AccessKind::Atomic),
+            };
+            let word = val as usize % wpp;
+            let outcome = fast.fast_path(ASID, vpn, write, kind);
+            let reference = slow.atc().lookup(ASID, vpn);
+            match (outcome, reference) {
+                (FastPath::Miss, None) => {}
+                (FastPath::NoRights, Some((_, w))) => {
+                    prop_assert!(write && !w, "NoRights only on a write to a read-only entry");
+                }
+                (FastPath::Hit(frame), Some((pp, w))) => {
+                    prop_assert!(!write || w);
+                    slow.charge_word_access(pp, kind);
+                    let sf = ms.frame_data(pp);
+                    match op {
+                        0 => prop_assert_eq!(frame.load(word), sf.load(word)),
+                        1 => {
+                            frame.store(word, val);
+                            sf.store(word, val);
+                        }
+                        2 => prop_assert_eq!(
+                            frame.fetch_add(word, val),
+                            sf.fetch_add(word, val)
+                        ),
+                        3 => prop_assert_eq!(frame.swap(word, val), sf.swap(word, val)),
+                        _ => prop_assert_eq!(
+                            frame.compare_exchange(word, val, val ^ 1),
+                            sf.compare_exchange(word, val, val ^ 1)
+                        ),
+                    }
+                }
+                (got, want) => {
+                    return Err(TestCaseError::fail(format!(
+                        "probe results diverged on vpn {vpn}: fast {:?}, reference {:?}",
+                        std::mem::discriminant(&got),
+                        want,
+                    )));
+                }
+            }
+        }
+
+        prop_assert_eq!(fast.vtime(), slow.vtime(), "virtual time diverged");
+        prop_assert_eq!(fast.counters(), slow.counters(), "counters diverged");
+        for vpn in 0..NPAGES {
+            let pp = PhysPage::new(pages[vpn as usize].0 as usize % 2, vpn as usize);
+            for w in 0..wpp {
+                prop_assert_eq!(mf.frame_data(pp).load(w), ms.frame_data(pp).load(w));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_probe_charges_nothing(
+        pages in prop::collection::vec(
+            (0u8..2, any::<bool>(), any::<bool>()),
+            NPAGES as usize..NPAGES as usize + 1,
+        ),
+        probes in prop::collection::vec((0u64..NPAGES + 2, any::<bool>()), 1..50),
+    ) {
+        let mf = machine(true);
+        let ms = machine(true);
+        let mut fast = ProcCore::new(Arc::clone(&mf), 0, 0);
+        let mut slow = ProcCore::new(Arc::clone(&ms), 0, 0);
+        install(&mut fast, &mut slow, &pages);
+
+        for &(vpn, write) in &probes {
+            let outcome = fast.fast_probe(ASID, vpn, write);
+            let reference = slow.atc().lookup(ASID, vpn);
+            match (outcome, reference) {
+                (FastPath::Miss, None) => {}
+                (FastPath::NoRights, Some((_, w))) => prop_assert!(write && !w),
+                (FastPath::Hit(_), Some((_, w))) => prop_assert!(!write || w),
+                _ => return Err(TestCaseError::fail("probe results diverged")),
+            }
+        }
+        // The probes count as lookups but charge no time and no accesses.
+        prop_assert_eq!(fast.vtime(), 0);
+        prop_assert_eq!(fast.counters(), slow.counters());
+        prop_assert_eq!(fast.counters().total_refs(), 0);
+    }
+}
+
+#[test]
+fn config_flag_reaches_the_core() {
+    let on = ProcCore::new(machine(true), 0, 0);
+    let off = ProcCore::new(machine(false), 0, 0);
+    assert!(on.fast_path_enabled());
+    assert!(!off.fast_path_enabled());
+}
