@@ -8,58 +8,17 @@
 use std::sync::Arc;
 
 use numa_machine::Mem;
-use platinum::{
-    AceStyle, AlwaysReplicate, NeverReplicate, PlatinumPolicy, ReplicationPolicy, StatsSnapshot,
-};
+use platinum::{FaultPlan, StatsSnapshot};
 use platinum_runtime::measure::RunStats;
 use platinum_runtime::par::{run_uma_workers, uma_machine, PlatinumHarness};
+use platinum_runtime::sim::SimBuilder;
 use platinum_runtime::sync::{Barrier, EventCount};
 
 use crate::gauss::{self, GaussConfig, GaussLayout};
 use crate::mergesort::{self, SortConfig, SortLayout};
 use crate::neural::{self, NeuralConfig, NeuralLayout};
 
-/// Which replication policy to boot the kernel with.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PolicyKind {
-    /// The paper's interim policy (t1 = 10 ms, defrost-only thawing).
-    Platinum,
-    /// The §4.2 alternative: accesses may thaw expired frozen pages.
-    PlatinumThawOnAccess,
-    /// Static placement (the Uniform System / Figure 1 baseline).
-    NeverReplicate,
-    /// Replicate/migrate unconditionally (software-caching baseline).
-    AlwaysReplicate,
-    /// Bolosky et al.'s ACE policy (§8).
-    AceStyle,
-}
-
-impl PolicyKind {
-    /// Instantiates the policy.
-    pub fn build(self) -> Box<dyn ReplicationPolicy> {
-        match self {
-            PolicyKind::Platinum => Box::new(PlatinumPolicy::paper_default()),
-            PolicyKind::PlatinumThawOnAccess => Box::new(PlatinumPolicy {
-                t1_ns: 10_000_000,
-                thaw_on_access: true,
-            }),
-            PolicyKind::NeverReplicate => Box::new(NeverReplicate),
-            PolicyKind::AlwaysReplicate => Box::new(AlwaysReplicate),
-            PolicyKind::AceStyle => Box::new(AceStyle::default()),
-        }
-    }
-
-    /// Harness display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            PolicyKind::Platinum => "PLATINUM",
-            PolicyKind::PlatinumThawOnAccess => "PLATINUM (thaw-on-access)",
-            PolicyKind::NeverReplicate => "static placement",
-            PolicyKind::AlwaysReplicate => "always-replicate",
-            PolicyKind::AceStyle => "ACE-style",
-        }
-    }
-}
+pub use platinum::PolicyKind;
 
 /// The programming style of the Figure 1 comparison.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,15 +58,48 @@ pub struct AppRun {
     pub run: RunStats,
 }
 
+/// Boots a harness under `policy`, with an optional deterministic
+/// fault-injection plan (the chaos runners' shared entry).
+fn boot(nodes: usize, policy: PolicyKind, faults: Option<Arc<FaultPlan>>) -> PlatinumHarness {
+    let mut b = SimBuilder::nodes(nodes).policy(policy);
+    if let Some(plan) = faults {
+        b = b.faults(plan);
+    }
+    b.build().into()
+}
+
 /// Runs Gaussian elimination in the given style on `p` of `nodes`
 /// processors.
 pub fn run_gauss(style: GaussStyle, nodes: usize, p: usize, cfg: &GaussConfig) -> AppRun {
+    run_gauss_faulty(style, nodes, p, cfg, None)
+}
+
+/// [`run_gauss`] with the PLATINUM policy under a fault-injection plan:
+/// the chaos_soak entry point. Correctness is asserted the same way —
+/// the returned checksum must match the fault-free reference.
+pub fn run_gauss_chaos(nodes: usize, p: usize, cfg: &GaussConfig, plan: Arc<FaultPlan>) -> AppRun {
+    run_gauss_faulty(
+        GaussStyle::Shared(PolicyKind::Platinum),
+        nodes,
+        p,
+        cfg,
+        Some(plan),
+    )
+}
+
+fn run_gauss_faulty(
+    style: GaussStyle,
+    nodes: usize,
+    p: usize,
+    cfg: &GaussConfig,
+    faults: Option<Arc<FaultPlan>>,
+) -> AppRun {
     let policy = match style {
         GaussStyle::Shared(k) => k,
         GaussStyle::UniformSystem => PolicyKind::NeverReplicate,
         GaussStyle::MessagePassing => PolicyKind::Platinum,
     };
-    let h = PlatinumHarness::with_policy(nodes, policy.build());
+    let h = boot(nodes, policy, faults);
     let page_words = h.kernel.machine().cfg().words_per_page();
     let stride = cfg.n.div_ceil(page_words) * page_words;
     let pages = (stride * cfg.n).div_ceil(page_words) + 2;
@@ -225,7 +217,31 @@ pub fn run_gauss_anecdote(
 ///
 /// Panics if the sorted output fails verification.
 pub fn run_mergesort_platinum(nodes: usize, p: usize, cfg: &SortConfig) -> AppRun {
-    let h = PlatinumHarness::new(nodes);
+    run_mergesort_faulty(nodes, p, cfg, None)
+}
+
+/// [`run_mergesort_platinum`] under a fault-injection plan; the sorted
+/// output is verified exactly as in the fault-free run.
+///
+/// # Panics
+///
+/// Panics if the sorted output fails verification.
+pub fn run_mergesort_chaos(
+    nodes: usize,
+    p: usize,
+    cfg: &SortConfig,
+    plan: Arc<FaultPlan>,
+) -> AppRun {
+    run_mergesort_faulty(nodes, p, cfg, Some(plan))
+}
+
+fn run_mergesort_faulty(
+    nodes: usize,
+    p: usize,
+    cfg: &SortConfig,
+    faults: Option<Arc<FaultPlan>>,
+) -> AppRun {
+    let h = boot(nodes, PolicyKind::Platinum, faults);
     let page_words = h.kernel.machine().cfg().words_per_page();
     let pages = (2 * cfg.n).div_ceil(page_words) + 4;
     let mut data = h.alloc_zone(pages);
@@ -287,7 +303,28 @@ pub fn run_mergesort_uma(procs: usize, p: usize, cfg: &SortConfig) -> AppRun {
 /// Runs the neural-network simulator on PLATINUM with `p` of `nodes`
 /// processors. Returns the run plus the final training error.
 pub fn run_neural(nodes: usize, p: usize, cfg: &NeuralConfig) -> (AppRun, f64) {
-    let h = PlatinumHarness::new(nodes);
+    run_neural_faulty(nodes, p, cfg, None)
+}
+
+/// [`run_neural`] under a fault-injection plan. Returns the run plus the
+/// final training error, which chaos_soak compares against the
+/// fault-free run's.
+pub fn run_neural_chaos(
+    nodes: usize,
+    p: usize,
+    cfg: &NeuralConfig,
+    plan: Arc<FaultPlan>,
+) -> (AppRun, f64) {
+    run_neural_faulty(nodes, p, cfg, Some(plan))
+}
+
+fn run_neural_faulty(
+    nodes: usize,
+    p: usize,
+    cfg: &NeuralConfig,
+    faults: Option<Arc<FaultPlan>>,
+) -> (AppRun, f64) {
+    let h = boot(nodes, PolicyKind::Platinum, faults);
     let mut zone = h.alloc_zone(neural::UNITS + 2);
     let lay = NeuralLayout::alloc(&mut zone);
     h.run(1, |_, ctx| neural::init(ctx, &lay));

@@ -1,0 +1,209 @@
+//! Chaos soak: run the three paper applications under randomized
+//! deterministic fault plans and assert correctness and liveness.
+//!
+//! For each seed a [`FaultPlan::chaos`] plan injects transient memory
+//! errors, dropped shootdown acks, failed block transfers, and refused
+//! frame allocations at the given rate. Every application must still
+//! produce its fault-free answer (Gauss checksum against the host
+//! reference, mergesort's internal verification, a finite neural-net
+//! error) and must finish within a watchdog timeout — the recovery
+//! ladders are bounded by construction, so a hang is a bug, not bad luck.
+//!
+//! A process-global tracer records the whole soak; at the end every
+//! injection kind that fired must be paired with at least one
+//! fault→recovery span whose begin time precedes its end time.
+//!
+//! Usage:
+//!   chaos_soak [--seeds 8] [--nodes 4] [--procs N] [--ppm 25000]
+//!              [--timeout-secs 120]
+//!
+//! Exits nonzero on a correctness failure, a hang, or a soak that
+//! injected nothing (which would make the "survived chaos" claim vacuous).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use platinum::trace::{EventKind, TraceConfig, TraceEvent};
+use platinum::{FaultPlan, FaultSite, StatsSnapshot};
+use platinum_apps::gauss::{self, GaussConfig};
+use platinum_apps::harness::{run_gauss_chaos, run_mergesort_chaos, run_neural_chaos};
+use platinum_apps::mergesort::SortConfig;
+use platinum_apps::neural::NeuralConfig;
+use platinum_bench::Args;
+
+/// Runs `f` on a watchdog thread; exits the process if it does not
+/// finish within `timeout`. Liveness is part of the contract: every
+/// recovery ladder is bounded, so no fault plan may hang an application.
+fn with_watchdog<R: Send + 'static>(
+    what: &str,
+    timeout: Duration,
+    f: impl FnOnce() -> R + Send + 'static,
+) -> R {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(r) => {
+            handle.join().expect("application thread panicked");
+            r
+        }
+        Err(_) => {
+            eprintln!("LIVENESS FAILURE: {what} still running after {timeout:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn injected(s: &StatsSnapshot) -> u64 {
+    s.mem_errors + s.shootdown_timeouts + s.transfer_faults + s.alloc_faults
+}
+
+fn main() {
+    let args = Args::parse();
+    let seeds = args.get_or("--seeds", 8u64);
+    let nodes = args.get_or("--nodes", 4usize);
+    let procs = args.get_or("--procs", nodes);
+    let ppm = args.get_or("--ppm", 25_000u32);
+    let timeout = Duration::from_secs(args.get_or("--timeout-secs", 120u64));
+
+    // Install the process-global tracer before any machine boots so every
+    // seed's kernel records into it; the span check at the end sees the
+    // whole soak.
+    let tracer = platinum::trace::install_global(TraceConfig::default());
+
+    let gauss_cfg = GaussConfig {
+        n: 48,
+        ..GaussConfig::default()
+    };
+    let gauss_ref = gauss::reference_checksum(&gauss_cfg);
+    let sort_cfg = SortConfig {
+        n: 1 << 12,
+        ..SortConfig::default()
+    };
+    let neural_cfg = NeuralConfig {
+        epochs: 4,
+        ..NeuralConfig::default()
+    };
+
+    println!(
+        "chaos soak: {seeds} seeds, {nodes} nodes, {procs} procs, {ppm} ppm per site, \
+         watchdog {timeout:?}\n"
+    );
+
+    let mut total_injected = 0u64;
+    let mut total_recovered = 0u64;
+    let mut failures = 0usize;
+    for seed in 0..seeds {
+        let plan = Arc::new(FaultPlan::chaos(seed, ppm));
+
+        let run = {
+            let (cfg, plan) = (gauss_cfg.clone(), Arc::clone(&plan));
+            with_watchdog(&format!("gauss (seed {seed})"), timeout, move || {
+                run_gauss_chaos(nodes, procs, &cfg, plan)
+            })
+        };
+        let gauss_ok = run.checksum == gauss_ref;
+        if !gauss_ok {
+            eprintln!(
+                "CORRECTNESS FAILURE: gauss seed {seed}: checksum {:#x} != reference {gauss_ref:#x}",
+                run.checksum
+            );
+            failures += 1;
+        }
+        let gi = injected(&run.kernel_stats);
+        total_injected += gi;
+        total_recovered += run.kernel_stats.fault_recoveries;
+
+        // Mergesort verifies the sorted output internally (panics — and
+        // fails the watchdog join — if any key is out of order or lost).
+        let run = {
+            let (cfg, plan) = (sort_cfg.clone(), Arc::clone(&plan));
+            with_watchdog(&format!("mergesort (seed {seed})"), timeout, move || {
+                run_mergesort_chaos(nodes, procs, &cfg, plan)
+            })
+        };
+        let si = injected(&run.kernel_stats);
+        total_injected += si;
+        total_recovered += run.kernel_stats.fault_recoveries;
+
+        let (run, err) = {
+            let (cfg, plan) = (neural_cfg.clone(), Arc::clone(&plan));
+            with_watchdog(&format!("neural (seed {seed})"), timeout, move || {
+                run_neural_chaos(nodes, procs, &cfg, plan)
+            })
+        };
+        if !err.is_finite() {
+            eprintln!("CORRECTNESS FAILURE: neural seed {seed}: non-finite error {err}");
+            failures += 1;
+        }
+        let ni = injected(&run.kernel_stats);
+        total_injected += ni;
+        total_recovered += run.kernel_stats.fault_recoveries;
+
+        println!(
+            "seed {seed:>3}: gauss {} ({gi} faults), mergesort ok ({si} faults), \
+             neural err {err:.4} ({ni} faults)",
+            if gauss_ok { "ok" } else { "FAIL" },
+        );
+    }
+
+    println!("\ninjected faults: {total_injected}, recovery spans: {total_recovered}");
+    if total_injected == 0 {
+        eprintln!("soak injected no faults — raise --ppm or --seeds; nothing was exercised");
+        failures += 1;
+    }
+
+    // Every injection kind that fired must have produced at least one
+    // fault→recovery span, and every span must be well-formed (its begin
+    // vtime, carried in `arg`, precedes the recovery event's vtime). A
+    // copy-page episode that saw both a read error and a transfer fault
+    // is coded by whichever site failed first, so those two kinds accept
+    // either code.
+    let trace = tracer.snapshot();
+    let recoveries: Vec<&TraceEvent> = trace.of_kind(EventKind::FaultRecovery).collect();
+    for r in &recoveries {
+        if r.arg > r.vtime {
+            eprintln!(
+                "MALFORMED SPAN: recovery at vtime {} begins at {} (page {:#x})",
+                r.vtime, r.arg, r.page
+            );
+            failures += 1;
+        }
+    }
+    let site_checks: [(EventKind, &[FaultSite]); 4] = [
+        (
+            EventKind::MemError,
+            &[FaultSite::FrameRead, FaultSite::BlockTransfer],
+        ),
+        (EventKind::ShootdownTimeout, &[FaultSite::ShootdownAck]),
+        (
+            EventKind::TransferFault,
+            &[FaultSite::FrameRead, FaultSite::BlockTransfer],
+        ),
+        (EventKind::AllocFault, &[FaultSite::FrameAlloc]),
+    ];
+    for (kind, sites) in site_checks {
+        let fired = trace.count(kind);
+        if fired == 0 {
+            continue;
+        }
+        let spans = recoveries
+            .iter()
+            .filter(|r| sites.iter().any(|s| r.code == *s as u8))
+            .count();
+        if spans == 0 {
+            eprintln!("UNRECOVERED SITE: {fired} {kind:?} events but no matching recovery span");
+            failures += 1;
+        } else {
+            println!("site {kind:?}: {fired} injected, {spans} recovery spans");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\nchaos soak FAILED ({failures} failures)");
+        std::process::exit(1);
+    }
+    println!("\nchaos soak passed: every run correct and live under injection");
+}

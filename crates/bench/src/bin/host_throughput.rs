@@ -23,24 +23,27 @@
 //! `--check` compares each mix's fast-path MIPS against a baseline
 //! artifact and exits nonzero on a regression beyond the tolerance.
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use numa_machine::{Machine, MachineConfig, Mem};
-use platinum::{Kernel, NeverReplicate, PlatinumPolicy, Rights, UserCtx};
+use numa_machine::{MachineConfig, Mem};
+use platinum::{NeverReplicate, PlatinumPolicy, ReplicationPolicy, Rights, UserCtx};
 use platinum_analysis::report::json::Value;
 use platinum_analysis::report::Table;
 use platinum_bench::Args;
+use platinum_runtime::sim::{Sim, SimBuilder};
 
-fn machine(nodes: usize, fast_path: bool) -> Arc<Machine> {
-    Machine::new(MachineConfig {
+fn boot(nodes: usize, fast_path: bool, policy: Option<Box<dyn ReplicationPolicy>>) -> Sim {
+    let mut b = SimBuilder::nodes(nodes).machine_config(MachineConfig {
         nodes,
         frames_per_node: 256,
         skew_window_ns: None,
         fast_path,
         ..MachineConfig::default()
-    })
-    .expect("valid config")
+    });
+    if let Some(p) = policy {
+        b = b.policy_box(p);
+    }
+    b.build()
 }
 
 struct MixResult {
@@ -75,12 +78,11 @@ fn pattern(va: u64, page_bytes: u64) -> Vec<(u64, bool)> {
 /// ATC-resident references to pages homed on the running processor.
 fn all_local(fast_path: bool, ops: u64) -> f64 {
     // Returns elapsed host seconds for `ops` references (setup excluded).
-    let kernel = Kernel::new(machine(2, fast_path));
-    let space = kernel.create_space();
-    let object = kernel.create_object(PAGES as usize);
-    let va = space.map_anywhere(object, Rights::RW).unwrap();
-    let page_bytes = (kernel.machine().cfg().words_per_page() * 4) as u64;
-    let mut ctx = kernel.attach(space, 0, 0).unwrap();
+    let sim = boot(2, fast_path, None);
+    let object = sim.kernel.create_object(PAGES as usize);
+    let va = sim.space.map_anywhere(object, Rights::RW).unwrap();
+    let page_bytes = (sim.machine.cfg().words_per_page() * 4) as u64;
+    let mut ctx = sim.attach(0).unwrap();
     for i in 0..PAGES {
         ctx.write(va + i * page_bytes, i as u32); // first touch: local frame
     }
@@ -103,19 +105,18 @@ fn all_local(fast_path: bool, ops: u64) -> f64 {
 
 /// ATC-resident references to pages statically placed on a remote node.
 fn all_remote(fast_path: bool, ops: u64) -> f64 {
-    let kernel = Kernel::with_policy(machine(2, fast_path), Box::new(NeverReplicate));
-    let space = kernel.create_space();
-    let object = kernel.create_object(PAGES as usize);
-    let va = space.map_anywhere(object, Rights::RW).unwrap();
-    let page_bytes = (kernel.machine().cfg().words_per_page() * 4) as u64;
+    let sim = boot(2, fast_path, Some(Box::new(NeverReplicate)));
+    let object = sim.kernel.create_object(PAGES as usize);
+    let va = sim.space.map_anywhere(object, Rights::RW).unwrap();
+    let page_bytes = (sim.machine.cfg().words_per_page() * 4) as u64;
     // First touch from processor 1 homes every page on node 1 ...
-    let mut owner = kernel.attach(Arc::clone(&space), 1, 0).unwrap();
+    let mut owner = sim.attach(1).unwrap();
     for i in 0..PAGES {
         owner.write(va + i * page_bytes, i as u32);
     }
     owner.suspend();
     // ... so processor 0's references stay remote forever.
-    let mut ctx = kernel.attach(space, 0, 0).unwrap();
+    let mut ctx = sim.attach(0).unwrap();
     let pat = pattern(va, page_bytes);
     let rounds = ops.div_ceil(64);
     let start = Instant::now();
@@ -132,19 +133,19 @@ fn all_remote(fast_path: bool, ops: u64) -> f64 {
 /// Write ping-pong: each reference invalidates the peer's copy and
 /// migrates the page, so the protocol slow path dominates.
 fn fault_heavy(fast_path: bool, rounds: u64) -> f64 {
-    let kernel = Kernel::with_policy(
-        machine(2, fast_path),
-        Box::new(PlatinumPolicy {
+    let sim = boot(
+        2,
+        fast_path,
+        Some(Box::new(PlatinumPolicy {
             // Never freeze: keep every round on the full migrate path.
             t1_ns: 0,
             ..PlatinumPolicy::paper_default()
-        }),
+        })),
     );
-    let space = kernel.create_space();
-    let object = kernel.create_object(1);
-    let va = space.map_anywhere(object, Rights::RW).unwrap();
-    let mut a = kernel.attach(Arc::clone(&space), 0, 0).unwrap();
-    let mut b = kernel.attach(space, 1, 0).unwrap();
+    let object = sim.kernel.create_object(1);
+    let va = sim.space.map_anywhere(object, Rights::RW).unwrap();
+    let mut a = sim.attach(0).unwrap();
+    let mut b = sim.attach(1).unwrap();
     let ping = |w: &mut UserCtx, s: &mut UserCtx, val: u32| {
         s.suspend();
         w.write(va, val);

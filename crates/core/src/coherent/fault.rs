@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use numa_machine::{AccessErr, AccessKind, PhysPage, Va};
+use platinum_faults::FaultSite;
 use platinum_trace::{EventKind, FaultResolution};
 
 use crate::coherent::cmap::{CmapEntry, Directive};
@@ -155,16 +156,23 @@ impl Kernel {
         // A local physical copy may already exist (the page can be shared
         // by multiple address spaces); find it through the inverted page
         // table, which uses strictly local accesses (§3.3).
+        let mut recover_begin: Option<u64> = None;
         if g.has_copy_on(me) {
             let pp = self.ipt_find(ctx, me, cpage)?;
-            self.map_page(ctx, entry, vpn, pp, false, g);
-            return Ok(FaultResolution::LocalHit);
+            if !self.transient_read_error(ctx, cpage, g, pp, &mut recover_begin)? {
+                self.record_read_recovery(ctx, cpage, recover_begin);
+                self.map_page(ctx, entry, vpn, pp, false, g);
+                return Ok(FaultResolution::LocalHit);
+            }
+            // The local copy was discarded as corrupt: fall through to
+            // the policy path, which recovers by re-replicating from a
+            // valid directory copy.
         }
 
-        match g.state {
+        let res = match g.state {
             CpState::Empty => {
                 // First backing page: allocate and zero-fill locally.
-                let pp = self.alloc_frame(ctx, me, cpage)?;
+                let pp = self.alloc_frame(ctx, me, cpage, 0)?;
                 self.charge_zero_fill(ctx);
                 g.add_copy(pp);
                 g.state = CpState::Present1;
@@ -201,7 +209,86 @@ impl Kernel {
                     }
                 }
             }
+        };
+        self.record_read_recovery(ctx, cpage, recover_begin);
+        res
+    }
+
+    /// Closes a transient-read-error episode: records the recovery span
+    /// once the fault resolved against a valid copy.
+    fn record_read_recovery(&self, ctx: &UserCtx, cpage: &Cpage, begin: Option<u64>) {
+        if let Some(b) = begin {
+            self.record(
+                ctx.core.id(),
+                ctx.core.vtime(),
+                EventKind::FaultRecovery,
+                FaultSite::FrameRead as u8,
+                cpage.id().0,
+                b,
+            );
         }
+    }
+
+    /// Fault hook for a read hitting a local copy: decides whether an
+    /// injected transient memory error corrupts the read. With other
+    /// directory copies available, the local replica is discarded and the
+    /// caller falls back to the policy path (re-replication from a valid
+    /// copy); a sole copy is re-read under the bounded retry budget, so
+    /// the access always completes. Returns whether the local copy was
+    /// discarded.
+    fn transient_read_error(
+        &self,
+        ctx: &mut UserCtx,
+        cpage: &Cpage,
+        g: &mut CpageInner,
+        pp: PhysPage,
+        recover_begin: &mut Option<u64>,
+    ) -> Result<bool> {
+        let Some(plan) = self.fault_plan() else {
+            return Ok(false);
+        };
+        let key = (pp.module_id() as u64) << 32 | pp.frame_id() as u64;
+        if !plan.should_inject(FaultSite::FrameRead, ctx.core.vtime(), key, 0) {
+            return Ok(false);
+        }
+        let me = ctx.core.id();
+        *recover_begin = Some(ctx.core.vtime());
+        ctx.core.charge(plan.retry_ns());
+        self.record(
+            me,
+            ctx.core.vtime(),
+            EventKind::MemError,
+            0,
+            cpage.id().0,
+            pp.module_id() as u64,
+        );
+        if g.copies.len() > 1 {
+            // Other copies exist: drop the corrupt replica. The
+            // module-selective shootdown removes every translation into
+            // the dead frame; ours is excluded and handled inline.
+            self.drop_own_mapping_into(ctx, g, 1u64 << me);
+            self.invalidate_copies(ctx, cpage.id(), g, 1u64 << me)?;
+            if g.copies.len() == 1 {
+                g.state = CpState::Present1;
+            }
+            return Ok(true);
+        }
+        // Sole copy: nowhere else to recover from; re-read the flaky
+        // frame until a read sticks (forced at the retry budget).
+        let mut attempt = 1u32;
+        while plan.should_inject(FaultSite::FrameRead, ctx.core.vtime(), key, attempt) {
+            ctx.core.charge(plan.retry_ns());
+            self.record(
+                me,
+                ctx.core.vtime(),
+                EventKind::MemError,
+                attempt.min(255) as u8,
+                cpage.id().0,
+                pp.module_id() as u64,
+            );
+            attempt += 1;
+        }
+        Ok(false)
     }
 
     /// Records the `PolicyDecision` event: which action the policy chose
@@ -262,8 +349,8 @@ impl Kernel {
         // logarithmic fan-out instead of serializing every transfer at
         // one source engine.
         let src = g.copies[me % g.copies.len()];
-        let pp = self.alloc_frame(ctx, me, cpage)?;
-        ctx.core.block_transfer(src, pp);
+        let pp = self.alloc_frame(ctx, me, cpage, g.copies_mask)?;
+        let src = self.copy_page(ctx, cpage, g, src, pp);
         g.add_copy(pp);
         g.state = if g.copies.len() >= 2 {
             CpState::PresentPlus
@@ -316,9 +403,12 @@ impl Kernel {
                     // Local copy survives; invalidate and reclaim every
                     // other replica (§3.3).
                     let dying = g.copies_mask & !my_bit;
-                    self.invalidate_copies(ctx, cpage.id(), g, dying)?;
+                    let escalated = self.invalidate_copies(ctx, cpage.id(), g, dying)?;
                     g.state = CpState::Modified;
                     g.last_invalidation = Some(ctx.core.vtime());
+                    if escalated {
+                        self.freeze_degraded(ctx, cpage, g);
+                    }
                     self.record(
                         me,
                         ctx.core.vtime(),
@@ -335,7 +425,7 @@ impl Kernel {
 
         // No local copy.
         if g.state == CpState::Empty {
-            let pp = self.alloc_frame(ctx, me, cpage)?;
+            let pp = self.alloc_frame(ctx, me, cpage, 0)?;
             self.charge_zero_fill(ctx);
             g.add_copy(pp);
             g.state = CpState::Modified;
@@ -358,10 +448,11 @@ impl Kernel {
             FaultAction::RemoteMap { freeze } => {
                 // Write through a remote mapping. If the page is
                 // replicated, first collapse it to a single copy.
+                let mut escalated = false;
                 if g.state == CpState::PresentPlus {
                     let survivor = g.copies[0];
                     let dying = g.copies_mask & !(1u64 << survivor.module_id());
-                    self.invalidate_copies(ctx, cpage.id(), g, dying)?;
+                    escalated = self.invalidate_copies(ctx, cpage.id(), g, dying)?;
                     g.last_invalidation = Some(ctx.core.vtime());
                     self.record(
                         me,
@@ -375,6 +466,9 @@ impl Kernel {
                 let pp = g.copies[0];
                 g.state = CpState::Modified;
                 self.freeze_if_needed(ctx, cpage, g, freeze);
+                if escalated {
+                    self.freeze_degraded(ctx, cpage, g);
+                }
                 g.remote_map_mask |= my_bit;
                 self.record(
                     me,
@@ -408,15 +502,15 @@ impl Kernel {
         // and no writer can race us while we hold the page lock, because
         // granting write access requires this lock).
         let src = g.copies[0];
-        let pp = self.alloc_frame(ctx, me, cpage)?;
+        let pp = self.alloc_frame(ctx, me, cpage, g.copies_mask)?;
         // Invalidate every translation to the old copies, ours included.
         let dying = g.copies_mask;
-        self.shootdown(ctx, cpage.id(), g, Directive::Invalidate, !my_bit);
+        let out = self.shootdown(ctx, cpage.id(), g, Directive::Invalidate, !my_bit);
         if ctx.pmap.remove(ctx.space().id(), vpn).is_some() {
             let asid = ctx.space().asid();
             ctx.core.atc().invalidate(asid, vpn);
         }
-        ctx.core.block_transfer(src, pp);
+        let src = self.copy_page(ctx, cpage, g, src, pp);
         self.reclaim_copies(ctx, cpage.id(), g, dying)?;
         g.writer_mask = 0;
         g.remote_map_mask = 0;
@@ -428,6 +522,12 @@ impl Kernel {
             g.frozen = false;
             g.thaws += 1;
             self.record(me, ctx.core.vtime(), EventKind::Thaw, 1, cpage.id().0, 0);
+        }
+        if out.escalated {
+            // A shootdown target exhausted its ack-retry budget: fall
+            // back to the paper's degraded mode and freeze the page so
+            // further faults remote-map instead of moving it again.
+            self.freeze_degraded(ctx, cpage, g);
         }
         self.record(
             me,
@@ -451,20 +551,24 @@ impl Kernel {
 
     /// Invalidates the translations pointing into `dying` (a module mask)
     /// and reclaims those frames. Translations to surviving copies are
-    /// left alone thanks to the module-selective directive.
+    /// left alone thanks to the module-selective directive. Returns
+    /// whether the shootdown escalated (a dropped-ack ladder exhausted
+    /// its retries); callers that leave the page modified react by
+    /// freezing it.
     fn invalidate_copies(
         &self,
         ctx: &mut UserCtx,
         page: CpageId,
         g: &mut CpageInner,
         dying: u64,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         // Target processors on the dying modules plus any processor known
         // to hold a remote mapping (§3.1: the target set "is restricted to
         // those that are actually using a mapping for this Cpage").
         let filter = dying | g.remote_map_mask;
-        self.shootdown(ctx, page, g, Directive::InvalidateModules(dying), filter);
-        self.reclaim_copies(ctx, page, g, dying)
+        let out = self.shootdown(ctx, page, g, Directive::InvalidateModules(dying), filter);
+        self.reclaim_copies(ctx, page, g, dying)?;
+        Ok(out.escalated)
     }
 
     /// Frees every directory copy on the modules in `mask`.
@@ -501,6 +605,28 @@ impl Kernel {
             );
         }
         Ok(())
+    }
+
+    /// Freezes the page because a shootdown escalated: a target exhausted
+    /// its ack-retry budget, so the kernel stops moving the page around
+    /// and falls back to the paper's degraded mode (remote references to
+    /// a single pinned copy) until the defrost daemon thaws it. Code 2 in
+    /// the `Freeze` event distinguishes escalation from a policy freeze.
+    fn freeze_degraded(&self, ctx: &mut UserCtx, cpage: &Cpage, g: &mut CpageInner) {
+        if g.frozen || g.state != CpState::Modified {
+            return;
+        }
+        g.frozen = true;
+        g.freezes += 1;
+        self.record(
+            ctx.core.id(),
+            ctx.core.vtime(),
+            EventKind::Freeze,
+            2,
+            cpage.id().0,
+            0,
+        );
+        self.defrost.enroll(cpage.id());
     }
 
     /// Marks the page frozen and enrolls it with the defrost daemon, when
@@ -548,8 +674,92 @@ impl Kernel {
         }
         if pp.module_id() == me {
             g.remote_map_mask &= !(1u64 << me);
+        } else {
+            // Remote frame: make sure module-selective shootdowns reach
+            // us. Fault paths pre-set this bit; allocation fallback can
+            // also land a "local" placement on another module.
+            g.remote_map_mask |= 1u64 << me;
         }
         debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+    }
+
+    /// Block-transfers the page from a directory copy into the
+    /// not-yet-published frame `dst`, surviving injected source read
+    /// errors (rotate to another valid copy) and mid-copy transfer
+    /// failures (whole-page retry). `dst` is invisible to the directory
+    /// and to every translation until the copy verifies, so a torn
+    /// prefix is never observable. Returns the source actually used.
+    fn copy_page(
+        &self,
+        ctx: &mut UserCtx,
+        cpage: &Cpage,
+        g: &CpageInner,
+        mut src: PhysPage,
+        dst: PhysPage,
+    ) -> PhysPage {
+        let Some(plan) = self.fault_plan() else {
+            ctx.core.block_transfer(src, dst);
+            return src;
+        };
+        let me = ctx.core.id();
+        let mut begin: Option<u64> = None;
+        let mut first_site: Option<FaultSite> = None;
+        let mut attempt = 0u32;
+        loop {
+            let src_key = (src.module_id() as u64) << 32 | src.frame_id() as u64;
+            if plan.should_inject(FaultSite::FrameRead, ctx.core.vtime(), src_key, attempt) {
+                // The source module returns garbage: rotate to another
+                // directory copy when one exists, else re-read the same
+                // one (forced good at the retry budget).
+                begin.get_or_insert(ctx.core.vtime());
+                first_site.get_or_insert(FaultSite::FrameRead);
+                ctx.core.charge(plan.retry_ns());
+                self.record(
+                    me,
+                    ctx.core.vtime(),
+                    EventKind::MemError,
+                    attempt.min(255) as u8,
+                    cpage.id().0,
+                    src.module_id() as u64,
+                );
+                if g.copies.len() > 1 {
+                    let pos = g.copies.iter().position(|&c| c == src).unwrap_or(0);
+                    src = g.copies[(pos + 1) % g.copies.len()];
+                }
+                attempt += 1;
+                continue;
+            }
+            let dst_key = (dst.module_id() as u64) << 32 | dst.frame_id() as u64;
+            if plan.should_inject(FaultSite::BlockTransfer, ctx.core.vtime(), dst_key, attempt) {
+                // The engine dies mid-copy: pay for the half transfer it
+                // managed, then retry the whole page.
+                begin.get_or_insert(ctx.core.vtime());
+                first_site.get_or_insert(FaultSite::BlockTransfer);
+                ctx.core.failed_block_transfer(src, dst, 50);
+                self.record(
+                    me,
+                    ctx.core.vtime(),
+                    EventKind::TransferFault,
+                    attempt.min(255) as u8,
+                    cpage.id().0,
+                    src.module_id() as u64,
+                );
+                attempt += 1;
+                continue;
+            }
+            ctx.core.block_transfer(src, dst);
+            if let (Some(b), Some(site)) = (begin, first_site) {
+                self.record(
+                    me,
+                    ctx.core.vtime(),
+                    EventKind::FaultRecovery,
+                    site as u8,
+                    cpage.id().0,
+                    b,
+                );
+            }
+            return src;
+        }
     }
 
     /// Finds the local copy of `cpage` through the inverted page table,
@@ -568,30 +778,91 @@ impl Kernel {
             .ok_or_else(|| panic!("directory says node {node} has a copy but the IPT disagrees"))
     }
 
-    /// Allocates a frame for `cpage` on `node` through the inverted page
-    /// table; under memory pressure, evicts replicas of other pages from
-    /// the module until a frame is free.
-    fn alloc_frame(&self, ctx: &mut UserCtx, node: usize, cpage: &Cpage) -> Result<PhysPage> {
-        loop {
-            match self.machine().module(node).alloc_frame(cpage.id().0) {
-                Some(probe) => {
-                    ctx.core.charge_word_block(
-                        PhysPage::new(node, 0),
-                        AccessKind::Atomic,
-                        probe.probes as u64,
+    /// Allocates a frame for `cpage`, preferring `node`, through the
+    /// inverted page table. Under memory pressure, evicts replicas of
+    /// other pages from a module before giving up on it; a module that
+    /// cannot yield a frame — or that the fault plan makes refuse — is
+    /// skipped for the next one in ring order. `avoid` is a module mask
+    /// to never place on (the existing directory copies, so a replica
+    /// cannot double up on a module). [`KernelError::OutOfMemory`] only
+    /// when every eligible module refuses.
+    fn alloc_frame(
+        &self,
+        ctx: &mut UserCtx,
+        node: usize,
+        cpage: &Cpage,
+        avoid: u64,
+    ) -> Result<PhysPage> {
+        let n = self.machine().nprocs(); // one memory module per node
+        let plan = self.fault_plan();
+        let mut recover_begin: Option<u64> = None;
+        // Two passes over the ring: the first is subject to injected
+        // transient refusals, the second is not — a transient refusal may
+        // redirect an allocation but must never manufacture OutOfMemory
+        // when a module still has frames. Persistent denials
+        // (`alloc_denied`) hold in both passes.
+        let passes = if plan.is_some() { 2 } else { 1 };
+        for (pass, i) in (0..passes * n).map(|k| (k / n, k % n)) {
+            let m = (node + i) % n;
+            if avoid & (1u64 << m) != 0 {
+                continue;
+            }
+            if let Some(plan) = plan {
+                if plan.alloc_denied(m)
+                    || (pass == 0
+                        && plan.should_inject(
+                            FaultSite::FrameAlloc,
+                            ctx.core.vtime(),
+                            m as u64,
+                            i as u32,
+                        ))
+                {
+                    // The module refuses the allocation; fall back to the
+                    // next-best module in the ring.
+                    recover_begin.get_or_insert(ctx.core.vtime());
+                    self.record(
+                        ctx.core.id(),
+                        ctx.core.vtime(),
+                        EventKind::AllocFault,
+                        i.min(255) as u8,
+                        cpage.id().0,
+                        m as u64,
                     );
-                    return Ok(PhysPage::new(
-                        node,
-                        probe.frame.expect("alloc returns a frame"),
-                    ));
+                    continue;
                 }
-                None => {
-                    if !self.reclaim_replica(ctx, node, cpage.id()) {
-                        return Err(KernelError::OutOfMemory);
+            }
+            loop {
+                match self.machine().module(m).alloc_frame(cpage.id().0) {
+                    Some(probe) => {
+                        ctx.core.charge_word_block(
+                            PhysPage::new(m, 0),
+                            AccessKind::Atomic,
+                            probe.probes as u64,
+                        );
+                        if let Some(b) = recover_begin {
+                            self.record(
+                                ctx.core.id(),
+                                ctx.core.vtime(),
+                                EventKind::FaultRecovery,
+                                FaultSite::FrameAlloc as u8,
+                                cpage.id().0,
+                                b,
+                            );
+                        }
+                        return Ok(PhysPage::new(
+                            m,
+                            probe.frame.expect("alloc returns a frame"),
+                        ));
+                    }
+                    None => {
+                        if !self.reclaim_replica(ctx, m, cpage.id()) {
+                            break; // genuinely full: try the next module
+                        }
                     }
                 }
             }
         }
+        Err(KernelError::OutOfMemory)
     }
 
     /// Zero-fill cost for a fresh page (a fast local clear loop).

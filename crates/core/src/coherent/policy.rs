@@ -198,6 +198,50 @@ impl ReplicationPolicy for AceStyle {
     }
 }
 
+/// Which replication policy to boot the kernel with: a nameable,
+/// `Copy`-able selector over the policy family, used by the harnesses,
+/// the benchmark binaries, and `SimBuilder`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's interim policy (t1 = 10 ms, defrost-only thawing).
+    Platinum,
+    /// The §4.2 alternative: accesses may thaw expired frozen pages.
+    PlatinumThawOnAccess,
+    /// Static placement (the Uniform System / Figure 1 baseline).
+    NeverReplicate,
+    /// Replicate/migrate unconditionally (software-caching baseline).
+    AlwaysReplicate,
+    /// Bolosky et al.'s ACE policy (§8).
+    AceStyle,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn ReplicationPolicy> {
+        match self {
+            PolicyKind::Platinum => Box::new(PlatinumPolicy::paper_default()),
+            PolicyKind::PlatinumThawOnAccess => Box::new(PlatinumPolicy {
+                t1_ns: 10_000_000,
+                thaw_on_access: true,
+            }),
+            PolicyKind::NeverReplicate => Box::new(NeverReplicate),
+            PolicyKind::AlwaysReplicate => Box::new(AlwaysReplicate),
+            PolicyKind::AceStyle => Box::new(AceStyle::default()),
+        }
+    }
+
+    /// Harness display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Platinum => "PLATINUM",
+            PolicyKind::PlatinumThawOnAccess => "PLATINUM (thaw-on-access)",
+            PolicyKind::NeverReplicate => "static placement",
+            PolicyKind::AlwaysReplicate => "always-replicate",
+            PolicyKind::AceStyle => "ACE-style",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

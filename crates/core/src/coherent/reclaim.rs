@@ -253,12 +253,17 @@ impl Kernel {
         let msg = CmapMsg::new(vpn, directive, targets);
         space.cmap().post(Arc::clone(&msg));
         let mut awaited = 0u64;
+        let mut dropped: Vec<usize> = Vec::new();
         for p in numa_machine::procs_in_mask(targets) {
             if self.slots[p].active.lock().contains(&space.id()) {
-                self.machine().post_ipi(p);
                 ctx.core.charge(self.machine().cfg().timing.ipi_ns);
                 self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                 awaited |= 1u64 << p;
+                if self.ipi_lost(ctx.core.vtime(), p) {
+                    dropped.push(p);
+                    continue;
+                }
+                self.machine().post_ipi(p);
             }
         }
         self.record(
@@ -269,6 +274,11 @@ impl Kernel {
             page.0,
             u64::from(targets.count_ones()),
         );
+        if !dropped.is_empty() {
+            // Unmap has no degraded mode to escalate to; the ladder's
+            // forced final delivery is enough to guarantee progress.
+            self.resolve_dropped_acks(ctx, page.0, &dropped);
+        }
         let mut spins = 0u32;
         while msg.pending() & awaited != 0 {
             if ctx.core.take_ipi() {

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use numa_machine::{procs_in_mask, AccessKind, PhysPage};
 
+use platinum_faults::FaultSite;
 use platinum_trace::EventKind;
 
 use crate::coherent::cmap::{CmapMsg, Directive};
@@ -37,6 +38,10 @@ pub struct ShootdownOutcome {
     /// Interprocessor interrupts actually sent (targets with the space
     /// active, or in Mach mode every active processor).
     pub ipis: u32,
+    /// Whether an injected dropped-ack ladder exhausted its retry budget;
+    /// callers that leave the page in the modified state react by
+    /// freezing it (the paper's own degraded mode).
+    pub escalated: bool,
 }
 
 impl Kernel {
@@ -67,6 +72,7 @@ impl Kernel {
         let mut posted: Vec<(Arc<CmapMsg>, u64)> = Vec::new();
         let mut all_targets = 0u64;
         let mut ipis = 0u32;
+        let mut dropped: Vec<usize> = Vec::new();
 
         for &(as_id, vpn) in &g.bindings {
             let Ok(space) = self.space(as_id) else {
@@ -97,24 +103,32 @@ impl Kernel {
                         continue;
                     }
                     if self.slots[p].active.lock().contains(&as_id) {
-                        self.machine().post_ipi(p);
                         ctx.core
                             .charge(self.machine().cfg().timing.ipi_ns + costs.mach_stall_extra_ns);
                         self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                         ipis += 1;
                         if targets & (1u64 << p) != 0 {
                             awaited |= 1u64 << p;
+                            if self.ipi_lost(ctx.core.vtime(), p) {
+                                dropped.push(p);
+                                continue;
+                            }
                         }
+                        self.machine().post_ipi(p);
                     }
                 }
             } else {
                 for p in procs_in_mask(targets) {
                     if self.slots[p].active.lock().contains(&as_id) {
-                        self.machine().post_ipi(p);
                         ctx.core.charge(self.machine().cfg().timing.ipi_ns);
                         self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                         ipis += 1;
                         awaited |= 1u64 << p;
+                        if self.ipi_lost(ctx.core.vtime(), p) {
+                            dropped.push(p);
+                            continue;
+                        }
+                        self.machine().post_ipi(p);
                     }
                 }
             }
@@ -137,6 +151,11 @@ impl Kernel {
             page.0,
             u64::from(all_targets.count_ones()),
         );
+
+        // Resolve any IPIs lost to fault injection before blocking: the
+        // ladder ends with a forced delivery, so the wait below can never
+        // hang on a dropped interrupt.
+        let escalated = !dropped.is_empty() && self.resolve_dropped_acks(ctx, page.0, &dropped);
 
         // Wait for the active targets. Poll our own doorbell throughout:
         // another initiator may be shooting *us* down at the same time,
@@ -165,7 +184,80 @@ impl Kernel {
         ShootdownOutcome {
             targets: all_targets.count_ones(),
             ipis,
+            escalated,
         }
+    }
+
+    /// Fault hook: decides whether the shootdown IPI just sent to
+    /// `target` is lost in transit. One pointer test on healthy runs.
+    #[inline]
+    pub(crate) fn ipi_lost(&self, vtime: u64, target: usize) -> bool {
+        match self.fault_plan() {
+            Some(plan) => plan.should_inject(FaultSite::ShootdownAck, vtime, target as u64, 0),
+            None => false,
+        }
+    }
+
+    /// Recovers from shootdown IPIs lost to fault injection: for each
+    /// silent target the initiator waits out an ack timeout (exponential
+    /// backoff), resends the interrupt, and repeats until a resend gets
+    /// through or the retry budget is exhausted — at which point delivery
+    /// is forced (the plan injects nothing at or past `max_retries`, so
+    /// the protocol stays live) and the ladder reports escalation.
+    ///
+    /// Shared by [`Kernel::shootdown`] and the teardown path's
+    /// single-space shootdown (`crate::coherent::reclaim`).
+    pub(crate) fn resolve_dropped_acks(
+        &self,
+        ctx: &mut UserCtx,
+        page: u64,
+        dropped: &[usize],
+    ) -> bool {
+        let Some(plan) = self.fault_plan() else {
+            debug_assert!(dropped.is_empty(), "drops require an installed plan");
+            return false;
+        };
+        let me = ctx.core.id();
+        let ipi_ns = self.machine().cfg().timing.ipi_ns;
+        let mut escalated = false;
+        for &p in dropped {
+            let begin = ctx.core.vtime();
+            let mut attempt = 1u32;
+            loop {
+                // The ack never arrives; the initiator times out...
+                ctx.core.charge(plan.ack_timeout_ns(attempt));
+                self.record(
+                    me,
+                    ctx.core.vtime(),
+                    EventKind::ShootdownTimeout,
+                    attempt.min(255) as u8,
+                    page,
+                    p as u64,
+                );
+                // ...and resends the interrupt (code 1 = retry).
+                ctx.core.charge(ipi_ns);
+                self.record(me, ctx.core.vtime(), EventKind::Ipi, 1, page, p as u64);
+                if attempt >= plan.max_retries() {
+                    escalated = true;
+                    break;
+                }
+                if !plan.should_inject(FaultSite::ShootdownAck, ctx.core.vtime(), p as u64, attempt)
+                {
+                    break;
+                }
+                attempt += 1;
+            }
+            self.machine().post_ipi(p);
+            self.record(
+                me,
+                ctx.core.vtime(),
+                EventKind::FaultRecovery,
+                FaultSite::ShootdownAck as u8,
+                page,
+                begin,
+            );
+        }
+        escalated
     }
 
     /// Charges `n` modelled kernel references of `kind` at `module`.

@@ -7,7 +7,11 @@ use numa_machine::{AccessErr, Va};
 use crate::ids::{AsId, ObjId, PortId};
 
 /// An error returned by a kernel operation.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a catch-all
+/// arm, so future degraded-mode variants are not a breaking change.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum KernelError {
     /// A user memory access failed unrecoverably (bus error, protection
     /// violation at the virtual-memory level, misalignment).
@@ -31,6 +35,18 @@ pub enum KernelError {
     ProcessorBusy(usize),
     /// The object still has live bindings and cannot be destroyed.
     ObjectInUse(ObjId),
+    /// A transient memory-module error persisted past the retry budget
+    /// with no other copy to recover from (fault injection).
+    TransientMemoryError {
+        /// The module whose frame read kept failing.
+        module: usize,
+    },
+    /// A shootdown target never acknowledged within the retry budget
+    /// (fault injection); the page was frozen as the degraded mode.
+    ShootdownTimeout {
+        /// The processor that stayed silent.
+        proc: usize,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -48,6 +64,12 @@ impl fmt::Display for KernelError {
             KernelError::RightsExceeded => write!(f, "requested rights exceed the grant"),
             KernelError::ProcessorBusy(p) => write!(f, "processor {p} already runs a thread"),
             KernelError::ObjectInUse(id) => write!(f, "object {id} still has bindings"),
+            KernelError::TransientMemoryError { module } => {
+                write!(f, "unrecovered transient memory error on module {module}")
+            }
+            KernelError::ShootdownTimeout { proc } => {
+                write!(f, "shootdown ack from processor {proc} timed out")
+            }
         }
     }
 }
@@ -78,6 +100,14 @@ mod tests {
         assert_eq!(
             KernelError::ProcessorBusy(3).to_string(),
             "processor 3 already runs a thread"
+        );
+        assert_eq!(
+            KernelError::TransientMemoryError { module: 2 }.to_string(),
+            "unrecovered transient memory error on module 2"
+        );
+        assert_eq!(
+            KernelError::ShootdownTimeout { proc: 5 }.to_string(),
+            "shootdown ack from processor 5 timed out"
         );
     }
 }

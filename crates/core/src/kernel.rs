@@ -7,6 +7,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use numa_machine::{Machine, ProcCore};
+use platinum_faults::FaultPlan;
 use platinum_trace::{EventKind, Tracer};
 
 use crate::coherent::cpage::{Cpage, CpageInner, CpageTable};
@@ -50,6 +51,10 @@ pub struct KernelConfig {
     /// power of two). Purely a host-side concurrency knob: protocol
     /// behaviour is identical at any shard count.
     pub cmap_shards: usize,
+    /// Deterministic fault-injection plan, if any. With `None` (the
+    /// default) every injection hook is a single pointer test and the
+    /// kernel behaves bit-identically to a build without the subsystem.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for KernelConfig {
@@ -59,6 +64,7 @@ impl Default for KernelConfig {
             t2_defrost_ns: 1_000_000_000,
             shootdown: ShootdownMode::PerProcessorPmap,
             cmap_shards: crate::coherent::cmap::DEFAULT_SHARDS,
+            faults: None,
         }
     }
 }
@@ -157,6 +163,13 @@ impl Kernel {
     /// The active replication policy.
     pub fn policy(&self) -> &dyn ReplicationPolicy {
         self.policy.as_ref()
+    }
+
+    /// The installed fault-injection plan, if any. `None` on healthy
+    /// runs, which keeps every injection hook down to one pointer test.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.cfg.faults.as_deref()
     }
 
     /// Creates a memory object of `pages` pages, homing its metadata

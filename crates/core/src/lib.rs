@@ -63,6 +63,7 @@ mod kernel;
 mod user;
 
 pub use coherent::cpage::{CpState, Cpage, CpageInner};
+pub use coherent::policy::PolicyKind;
 pub use coherent::policy::{
     AceStyle, AlwaysReplicate, FaultAction, FaultInfo, NeverReplicate, PlatinumPolicy,
     ReplicationPolicy,
@@ -71,6 +72,10 @@ pub use costs::KernelCosts;
 pub use error::{KernelError, Result};
 pub use ids::{AsId, CpageId, ObjId, PortId, Rights, ThreadId};
 pub use kernel::{Kernel, KernelConfig, ShootdownMode};
+/// Deterministic fault-injection plans (re-exported so downstream crates
+/// need not depend on `platinum-faults` directly).
+pub use platinum_faults as faults;
+pub use platinum_faults::{FaultPlan, FaultSite};
 /// The protocol-event tracer (re-exported so downstream crates need not
 /// depend on `platinum-trace` directly).
 pub use platinum_trace as trace;

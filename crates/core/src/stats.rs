@@ -92,6 +92,11 @@ impl KernelStats {
             frames_freed: self.count(EventKind::FrameFree),
             defrost_runs: self.count(EventKind::DefrostRun),
             reclaims: self.count(EventKind::ReplicaEvict),
+            mem_errors: self.count(EventKind::MemError),
+            shootdown_timeouts: self.count(EventKind::ShootdownTimeout),
+            transfer_faults: self.count(EventKind::TransferFault),
+            alloc_faults: self.count(EventKind::AllocFault),
+            fault_recoveries: self.count(EventKind::FaultRecovery),
         }
     }
 }
@@ -126,6 +131,16 @@ pub struct StatsSnapshot {
     pub defrost_runs: u64,
     /// Replica evictions under memory pressure.
     pub reclaims: u64,
+    /// Injected transient memory-module errors observed on frame reads.
+    pub mem_errors: u64,
+    /// Shootdown ack timeouts (injected dropped acks noticed).
+    pub shootdown_timeouts: u64,
+    /// Injected block-transfer failures (whole-page retries).
+    pub transfer_faults: u64,
+    /// Injected allocation refusals (fallback to another module).
+    pub alloc_faults: u64,
+    /// Fault-injection episodes that completed recovery.
+    pub fault_recoveries: u64,
 }
 
 impl StatsSnapshot {
@@ -150,7 +165,21 @@ impl StatsSnapshot {
             frames_freed: self.frames_freed.saturating_sub(earlier.frames_freed),
             defrost_runs: self.defrost_runs.saturating_sub(earlier.defrost_runs),
             reclaims: self.reclaims.saturating_sub(earlier.reclaims),
+            mem_errors: self.mem_errors.saturating_sub(earlier.mem_errors),
+            shootdown_timeouts: self
+                .shootdown_timeouts
+                .saturating_sub(earlier.shootdown_timeouts),
+            transfer_faults: self.transfer_faults.saturating_sub(earlier.transfer_faults),
+            alloc_faults: self.alloc_faults.saturating_sub(earlier.alloc_faults),
+            fault_recoveries: self
+                .fault_recoveries
+                .saturating_sub(earlier.fault_recoveries),
         }
+    }
+
+    /// Total injected faults observed, across every injection site.
+    pub fn injected_faults(&self) -> u64 {
+        self.mem_errors + self.shootdown_timeouts + self.transfer_faults + self.alloc_faults
     }
 }
 
@@ -169,7 +198,16 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "  IPIs sent         {:>10}", self.ipis_sent)?;
         writeln!(f, "  frames freed      {:>10}", self.frames_freed)?;
         writeln!(f, "  defrost runs      {:>10}", self.defrost_runs)?;
-        writeln!(f, "  replica reclaims  {:>10}", self.reclaims)
+        writeln!(f, "  replica reclaims  {:>10}", self.reclaims)?;
+        // Fault-injection counters only clutter healthy runs.
+        if self.injected_faults() + self.fault_recoveries > 0 {
+            writeln!(f, "  mem errors        {:>10}", self.mem_errors)?;
+            writeln!(f, "  ack timeouts      {:>10}", self.shootdown_timeouts)?;
+            writeln!(f, "  transfer faults   {:>10}", self.transfer_faults)?;
+            writeln!(f, "  alloc faults      {:>10}", self.alloc_faults)?;
+            writeln!(f, "  fault recoveries  {:>10}", self.fault_recoveries)?;
+        }
+        Ok(())
     }
 }
 

@@ -3,7 +3,7 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use numa_machine::{AccessErr, AccessKind, FastPath, Mem, PhysPage, ProcCore, Va, Vpn};
+use numa_machine::{AccessErr, AccessKind, FastPath, Frame, Mem, PhysPage, ProcCore, Va, Vpn};
 use platinum_trace::EventKind;
 
 use crate::coherent::cmap::Directive;
@@ -328,39 +328,73 @@ impl UserCtx {
         self.translate(va, write)
     }
 
-    #[cold]
-    fn after_probe_or_panic(&mut self, va: Va, write: bool, missed: bool) -> PhysPage {
-        match self.translate_after_probe(va, write, missed) {
-            Ok(pp) => pp,
-            Err(e) => panic!("unrecoverable memory access: {e}"),
-        }
-    }
-
     #[inline]
     fn translate_or_panic(&mut self, va: Va, write: bool) -> PhysPage {
         match self.translate(va, write) {
             Ok(pp) => pp,
-            Err(e) => panic!("unrecoverable memory access: {e}"),
+            Err(e) => Self::die(e),
         }
     }
 
-    /// Fallible read (kernel-style API; the [`Mem`] methods panic
-    /// instead, like a program dying on a bus error).
+    #[cold]
+    fn die(e: KernelError) -> ! {
+        panic!("unrecoverable memory access: {e}")
+    }
+
+    /// The single data-access path every word-granular operation goes
+    /// through: probe the ATC fast path when enabled (charged probe, or
+    /// the uncharged variant for spin reads), fall back into the
+    /// reference translation loop on a miss or rights fault, then run
+    /// `op` against the physical frame. The fast and slow routes perform
+    /// the same enter()/probe/fault sequence access for access, so every
+    /// virtual-time charge and counter is identical either way.
+    #[inline]
+    fn data_access<R>(
+        &mut self,
+        va: Va,
+        write: bool,
+        kind: AccessKind,
+        charged: bool,
+        op: impl FnOnce(&Frame, usize) -> R,
+    ) -> Result<R> {
+        let word = self.word_of(va);
+        if self.core.fast_path_enabled() && va & 3 == 0 {
+            self.enter();
+            let vpn = self.vpn_of(va);
+            let probe = if charged {
+                self.core.fast_path(self.asid, vpn, write, kind)
+            } else {
+                self.core.fast_probe(self.asid, vpn, write)
+            };
+            let missed = match probe {
+                FastPath::Hit(frame) => return Ok(op(frame, word)),
+                FastPath::Miss => true,
+                FastPath::NoRights => false,
+            };
+            let pp = self.translate_after_probe(va, write, missed)?;
+            if charged {
+                self.core.charge_word_access(pp, kind);
+            }
+            return Ok(op(self.kernel.machine().frame_data(pp), word));
+        }
+        let pp = self.translate(va, write)?;
+        if charged {
+            self.core.charge_word_access(pp, kind);
+        }
+        Ok(op(self.kernel.machine().frame_data(pp), word))
+    }
+
+    /// Fallible read (kernel-style API; the [`Mem`] methods are one-line
+    /// panicking wrappers, like a program dying on a bus error).
+    #[inline]
     pub fn try_read(&mut self, va: Va) -> Result<u32> {
-        let pp = self.translate(va, false)?;
-        self.core.charge_word_access(pp, AccessKind::Read);
-        Ok(self.kernel.machine().frame_data(pp).load(self.word_of(va)))
+        self.data_access(va, false, AccessKind::Read, true, |f, w| f.load(w))
     }
 
     /// Fallible write.
+    #[inline]
     pub fn try_write(&mut self, va: Va, val: u32) -> Result<()> {
-        let pp = self.translate(va, true)?;
-        self.core.charge_word_access(pp, AccessKind::Write);
-        self.kernel
-            .machine()
-            .frame_data(pp)
-            .store(self.word_of(va), val);
-        Ok(())
+        self.data_access(va, true, AccessKind::Write, true, |f, w| f.store(w, val))
     }
 
     /// Explicitly thaws the coherent page backing `va`, if frozen
@@ -399,48 +433,12 @@ impl Mem for UserCtx {
 
     #[inline]
     fn read(&mut self, va: Va) -> u32 {
-        // Fast path: on an ATC hit with rights the whole access is one
-        // probe, one module reservation and one frame load — no Arc
-        // walks, no kernel call. Misses and rights faults fall back into
-        // the reference translation loop mid-iteration, so the sequence
-        // of enter()/probe/fault steps (and therefore every virtual-time
-        // charge and counter) is identical to the slow path below.
-        let word = self.word_of(va);
-        if self.core.fast_path_enabled() && va & 3 == 0 {
-            self.enter();
-            let vpn = self.vpn_of(va);
-            let missed = match self.core.fast_path(self.asid, vpn, false, AccessKind::Read) {
-                FastPath::Hit(frame) => return frame.load(word),
-                FastPath::Miss => true,
-                FastPath::NoRights => false,
-            };
-            let pp = self.after_probe_or_panic(va, false, missed);
-            self.core.charge_word_access(pp, AccessKind::Read);
-            return self.kernel.machine().frame_data(pp).load(word);
-        }
-        let pp = self.translate_or_panic(va, false);
-        self.core.charge_word_access(pp, AccessKind::Read);
-        self.kernel.machine().frame_data(pp).load(word)
+        self.try_read(va).unwrap_or_else(|e| Self::die(e))
     }
 
     #[inline]
     fn write(&mut self, va: Va, val: u32) {
-        let word = self.word_of(va);
-        if self.core.fast_path_enabled() && va & 3 == 0 {
-            self.enter();
-            let vpn = self.vpn_of(va);
-            let missed = match self.core.fast_path(self.asid, vpn, true, AccessKind::Write) {
-                FastPath::Hit(frame) => return frame.store(word, val),
-                FastPath::Miss => true,
-                FastPath::NoRights => false,
-            };
-            let pp = self.after_probe_or_panic(va, true, missed);
-            self.core.charge_word_access(pp, AccessKind::Write);
-            return self.kernel.machine().frame_data(pp).store(word, val);
-        }
-        let pp = self.translate_or_panic(va, true);
-        self.core.charge_word_access(pp, AccessKind::Write);
-        self.kernel.machine().frame_data(pp).store(word, val);
+        self.try_write(va, val).unwrap_or_else(|e| Self::die(e))
     }
 
     #[inline]
@@ -448,43 +446,16 @@ impl Mem for UserCtx {
         // Uncharged: spin waiting is modelled analytically by the
         // synchronization primitives, but the access still exercises the
         // protocol (it faults, it can freeze pages).
-        let word = self.word_of(va);
-        if self.core.fast_path_enabled() && va & 3 == 0 {
-            self.enter();
-            let vpn = self.vpn_of(va);
-            let missed = match self.core.fast_probe(self.asid, vpn, false) {
-                FastPath::Hit(frame) => return frame.load(word),
-                FastPath::Miss => true,
-                FastPath::NoRights => false,
-            };
-            let pp = self.after_probe_or_panic(va, false, missed);
-            return self.kernel.machine().frame_data(pp).load(word);
-        }
-        let pp = self.translate_or_panic(va, false);
-        self.kernel.machine().frame_data(pp).load(word)
+        self.data_access(va, false, AccessKind::Read, false, |f, w| f.load(w))
+            .unwrap_or_else(|e| Self::die(e))
     }
 
     #[inline]
     fn fetch_add(&mut self, va: Va, delta: u32) -> u32 {
-        let word = self.word_of(va);
-        if self.core.fast_path_enabled() && va & 3 == 0 {
-            self.enter();
-            let vpn = self.vpn_of(va);
-            let missed = match self
-                .core
-                .fast_path(self.asid, vpn, true, AccessKind::Atomic)
-            {
-                FastPath::Hit(frame) => return frame.fetch_add(word, delta),
-                FastPath::Miss => true,
-                FastPath::NoRights => false,
-            };
-            let pp = self.after_probe_or_panic(va, true, missed);
-            self.core.charge_word_access(pp, AccessKind::Atomic);
-            return self.kernel.machine().frame_data(pp).fetch_add(word, delta);
-        }
-        let pp = self.translate_or_panic(va, true);
-        self.core.charge_word_access(pp, AccessKind::Atomic);
-        self.kernel.machine().frame_data(pp).fetch_add(word, delta)
+        self.data_access(va, true, AccessKind::Atomic, true, |f, w| {
+            f.fetch_add(w, delta)
+        })
+        .unwrap_or_else(|e| Self::die(e))
     }
 
     #[inline]
@@ -494,55 +465,16 @@ impl Mem for UserCtx {
         current: u32,
         new: u32,
     ) -> std::result::Result<u32, u32> {
-        let word = self.word_of(va);
-        if self.core.fast_path_enabled() && va & 3 == 0 {
-            self.enter();
-            let vpn = self.vpn_of(va);
-            let missed = match self
-                .core
-                .fast_path(self.asid, vpn, true, AccessKind::Atomic)
-            {
-                FastPath::Hit(frame) => return frame.compare_exchange(word, current, new),
-                FastPath::Miss => true,
-                FastPath::NoRights => false,
-            };
-            let pp = self.after_probe_or_panic(va, true, missed);
-            self.core.charge_word_access(pp, AccessKind::Atomic);
-            return self
-                .kernel
-                .machine()
-                .frame_data(pp)
-                .compare_exchange(word, current, new);
-        }
-        let pp = self.translate_or_panic(va, true);
-        self.core.charge_word_access(pp, AccessKind::Atomic);
-        self.kernel
-            .machine()
-            .frame_data(pp)
-            .compare_exchange(word, current, new)
+        self.data_access(va, true, AccessKind::Atomic, true, |f, w| {
+            f.compare_exchange(w, current, new)
+        })
+        .unwrap_or_else(|e| Self::die(e))
     }
 
     #[inline]
     fn swap(&mut self, va: Va, val: u32) -> u32 {
-        let word = self.word_of(va);
-        if self.core.fast_path_enabled() && va & 3 == 0 {
-            self.enter();
-            let vpn = self.vpn_of(va);
-            let missed = match self
-                .core
-                .fast_path(self.asid, vpn, true, AccessKind::Atomic)
-            {
-                FastPath::Hit(frame) => return frame.swap(word, val),
-                FastPath::Miss => true,
-                FastPath::NoRights => false,
-            };
-            let pp = self.after_probe_or_panic(va, true, missed);
-            self.core.charge_word_access(pp, AccessKind::Atomic);
-            return self.kernel.machine().frame_data(pp).swap(word, val);
-        }
-        let pp = self.translate_or_panic(va, true);
-        self.core.charge_word_access(pp, AccessKind::Atomic);
-        self.kernel.machine().frame_data(pp).swap(word, val)
+        self.data_access(va, true, AccessKind::Atomic, true, |f, w| f.swap(w, val))
+            .unwrap_or_else(|e| Self::die(e))
     }
 
     fn poll(&mut self) {

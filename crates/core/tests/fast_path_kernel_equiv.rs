@@ -15,7 +15,8 @@ use std::sync::Arc;
 use numa_machine::{AccessCounters, Machine, MachineConfig, Mem};
 use platinum::trace::{EventKind, TraceConfig, Tracer};
 use platinum::{
-    AlwaysReplicate, Kernel, KernelConfig, PlatinumPolicy, Rights, StatsSnapshot, UserCtx,
+    AlwaysReplicate, FaultPlan, Kernel, KernelConfig, PlatinumPolicy, Rights, StatsSnapshot,
+    UserCtx,
 };
 
 fn machine(nodes: usize, fast_path: bool) -> Arc<Machine> {
@@ -55,7 +56,11 @@ fn directory_of(space: &platinum::AddressSpace) -> Vec<(u64, u64, Rights, u64)> 
 /// replication (everyone reads everything), hot loops (ATC hits),
 /// invalidating writes and atomics against suspended peers (lazy
 /// message application), plus error paths (misaligned, unmapped).
-fn run_scripted(fast_path: bool, cmap_shards: usize) -> Observation {
+fn run_scripted(
+    fast_path: bool,
+    cmap_shards: usize,
+    faults: Option<Arc<FaultPlan>>,
+) -> Observation {
     const P: usize = 4;
     const PAGES: usize = 8;
     let kernel = Kernel::with_config(
@@ -63,6 +68,7 @@ fn run_scripted(fast_path: bool, cmap_shards: usize) -> Observation {
         Box::new(PlatinumPolicy::paper_default()),
         KernelConfig {
             cmap_shards,
+            faults,
             ..KernelConfig::default()
         },
     );
@@ -133,8 +139,8 @@ fn run_scripted(fast_path: bool, cmap_shards: usize) -> Observation {
 
 #[test]
 fn fast_path_run_is_bit_identical_to_reference_run() {
-    let fast = run_scripted(true, 16);
-    let slow = run_scripted(false, 16);
+    let fast = run_scripted(true, 16, None);
+    let slow = run_scripted(false, 16, None);
     assert_eq!(fast.values, slow.values, "observed values diverged");
     assert_eq!(fast.vtimes, slow.vtimes, "virtual times diverged");
     assert_eq!(fast.counters, slow.counters, "access counters diverged");
@@ -150,9 +156,37 @@ fn fast_path_run_is_bit_identical_to_reference_run() {
 
 #[test]
 fn cmap_shard_count_is_transparent_in_a_scripted_run() {
-    let one = run_scripted(true, 1);
-    let many = run_scripted(true, 16);
+    let one = run_scripted(true, 1, None);
+    let many = run_scripted(true, 16, None);
     assert_eq!(one, many, "shard count changed an observable");
+}
+
+/// Fault injection lives entirely on the kernel slow path and keys its
+/// decisions off virtual time, which the two translation paths agree on
+/// by construction — so the bit-for-bit equivalence must survive an
+/// active fault plan, injected recoveries and all.
+#[test]
+fn fast_path_equivalence_holds_under_injection() {
+    let plan = Arc::new(FaultPlan::chaos(42, 60_000));
+    let fast = run_scripted(true, 16, Some(Arc::clone(&plan)));
+    let slow = run_scripted(false, 16, Some(plan));
+    assert_eq!(fast.values, slow.values, "observed values diverged");
+    assert_eq!(fast.vtimes, slow.vtimes, "virtual times diverged");
+    assert_eq!(fast.counters, slow.counters, "access counters diverged");
+    assert_eq!(fast.stats, slow.stats, "kernel event counters diverged");
+    assert_eq!(fast.directory, slow.directory, "Cmap directory diverged");
+    let injected = fast.stats.mem_errors
+        + fast.stats.shootdown_timeouts
+        + fast.stats.transfer_faults
+        + fast.stats.alloc_faults;
+    assert!(
+        injected > 0,
+        "the plan must actually fire for this test to mean anything"
+    );
+    assert!(
+        fast.stats.fault_recoveries > 0,
+        "recoveries must be recorded"
+    );
 }
 
 /// Concurrent stress: eight threads race read faults over 32 pages under

@@ -131,6 +131,28 @@ impl Frame {
         }
     }
 
+    /// Copies the first `words` words of `src` into this frame — the
+    /// state a block transfer leaves behind when the engine fails
+    /// mid-copy (fault injection). The destination is not yet published
+    /// anywhere, so the torn prefix is never observable; the retry
+    /// overwrites it whole-page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` exceeds either frame's length.
+    pub fn copy_prefix_from(&self, src: &Frame, words: usize) {
+        assert!(
+            words <= self.len() && words <= src.len(),
+            "partial transfer beyond frame bounds"
+        );
+        if std::ptr::eq(self, src) {
+            return;
+        }
+        for (w, s) in self.words[..words].iter().zip(&src.words[..words]) {
+            w.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
     /// Zero-fills the frame (page allocation of a fresh coherent page).
     pub fn zero(&self) {
         for w in self.words.iter() {
@@ -207,6 +229,26 @@ mod tests {
         for i in 0..8 {
             assert_eq!(b.load(i), 0);
         }
+    }
+
+    #[test]
+    fn partial_copy_stops_at_the_prefix() {
+        let a = Frame::new(8);
+        let b = Frame::new(8);
+        for i in 0..8 {
+            a.store(i, 100 + i as u32);
+            b.store(i, 0xFFFF);
+        }
+        b.copy_prefix_from(&a, 5);
+        for i in 0..5 {
+            assert_eq!(b.load(i), 100 + i as u32, "prefix word {i} not copied");
+        }
+        for i in 5..8 {
+            assert_eq!(b.load(i), 0xFFFF, "word {i} beyond the prefix was touched");
+        }
+        // Self-copy is a no-op, mirroring copy_from.
+        a.copy_prefix_from(&a, 8);
+        assert_eq!(a.load(0), 100);
     }
 
     #[test]

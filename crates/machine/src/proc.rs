@@ -528,6 +528,45 @@ impl ProcCore {
         let dst_frame = self.machine.frame_data(dst);
         dst_frame.copy_from(src_frame);
     }
+
+    /// A block transfer that fails `fraction_pct`% of the way through
+    /// (fault injection): the engines are occupied and the initiator
+    /// charged for the partial copy, a word prefix actually lands in the
+    /// destination frame, and the caller must retry whole-page before
+    /// publishing the destination anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` name the same frame or
+    /// `fraction_pct > 100`.
+    pub fn failed_block_transfer(&mut self, src: PhysPage, dst: PhysPage, fraction_pct: u64) {
+        assert_ne!(src, dst, "block transfer onto itself");
+        assert!(fraction_pct <= 100, "fraction is a percentage");
+        let words = self.machine.cfg().words_per_page() as u64;
+        let t = &self.machine.cfg().timing;
+        let copied = words * fraction_pct / 100;
+        let duration = copied * t.block_word_ns;
+        let bus_occupancy = duration * t.block_bus_fraction_pct / 100;
+
+        let src_mod = self.machine.module(src.module_id());
+        let dst_mod = self.machine.module(dst.module_id());
+        // Same queueing discipline as a successful transfer, for the
+        // shorter duration the engine actually ran.
+        let cap = 4 * words * t.block_word_ns;
+        let s1 = src_mod.reserve_block(self.vtime, bus_occupancy, cap);
+        let ready = if src.module_id() != dst.module_id() {
+            dst_mod.reserve_block(s1, bus_occupancy, cap)
+        } else {
+            s1
+        };
+        self.counters.queue_delay_ns += ready - self.vtime;
+        self.vtime = ready + duration;
+        self.counters.block_words += copied;
+
+        let src_frame = self.machine.frame_data(src);
+        let dst_frame = self.machine.frame_data(dst);
+        dst_frame.copy_prefix_from(src_frame, copied as usize);
+    }
 }
 
 #[cfg(test)]
@@ -556,6 +595,45 @@ mod tests {
         let c = core.counters();
         assert_eq!(c.local_reads, 1);
         assert_eq!(c.remote_reads, 1);
+    }
+
+    #[test]
+    fn failed_block_transfer_leaves_torn_prefix_and_charges_partial_cost() {
+        let m = machine(2);
+        let words = m.cfg().words_per_page();
+        let src = PhysPage::new(0, 0);
+        let dst = PhysPage::new(1, 0);
+        for w in 0..words {
+            m.frame_data(src).store(w, 0x5000 + w as u32);
+        }
+
+        let mut core = ProcCore::new(Arc::clone(&m), 0, 0);
+        core.failed_block_transfer(src, dst, 50);
+        let half = words / 2;
+        assert_eq!(
+            core.counters().block_words,
+            half as u64,
+            "half the page moved"
+        );
+        let partial_vtime = core.vtime();
+        assert!(partial_vtime > 0, "the engine ran for the partial copy");
+        assert_eq!(m.frame_data(dst).load(half - 1), 0x5000 + half as u32 - 1);
+        assert_eq!(
+            m.frame_data(dst).load(half),
+            0,
+            "words past the tear untouched"
+        );
+
+        // The whole-page retry overwrites the torn prefix completely.
+        core.block_transfer(src, dst);
+        for w in 0..words {
+            assert_eq!(m.frame_data(dst).load(w), 0x5000 + w as u32);
+        }
+        let full_cost = core.vtime() - partial_vtime;
+        assert!(
+            full_cost > partial_vtime,
+            "a full transfer costs more than a half transfer ({full_cost} vs {partial_vtime})"
+        );
     }
 
     #[test]

@@ -28,10 +28,12 @@
 
 pub mod measure;
 pub mod par;
+pub mod sim;
 pub mod sync;
 pub mod zones;
 
 pub use measure::{RunStats, WorkerStats};
 pub use par::{run_uma_workers, run_workers, PlatinumHarness};
+pub use sim::{Sim, SimBuilder};
 pub use sync::{Barrier, EventCount, SpinLock};
 pub use zones::Zone;

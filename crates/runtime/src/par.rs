@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use numa_machine::uma::{UmaConfig, UmaCtx, UmaMachine};
-use numa_machine::{Machine, MachineConfig, Mem};
+use numa_machine::{MachineConfig, Mem};
 use platinum::{
     AddressSpace, Kernel, KernelConfig, PlatinumPolicy, ReplicationPolicy, Rights, UserCtx,
 };
@@ -27,17 +27,19 @@ impl PlatinumHarness {
         Self::with_policy(nodes, Box::new(PlatinumPolicy::paper_default()))
     }
 
-    /// Boots with a specific replication policy.
+    /// Boots with a specific replication policy. (Benchmarks replicate
+    /// freely; the builder's default frame pool is deeper than the
+    /// Butterfly's 4 MB so frame exhaustion never perturbs the curves —
+    /// documented substitution; see DESIGN.md.)
     pub fn with_policy(nodes: usize, policy: Box<dyn ReplicationPolicy>) -> Self {
-        let mut cfg = MachineConfig::with_nodes(nodes);
-        // Benchmarks replicate freely; give each node a deeper frame pool
-        // than the Butterfly's 4 MB so frame exhaustion never perturbs the
-        // curves (documented substitution; see DESIGN.md).
-        cfg.frames_per_node = 4096;
-        Self::with_config(cfg, policy, KernelConfig::default())
+        crate::sim::SimBuilder::nodes(nodes)
+            .policy_box(policy)
+            .build()
+            .into()
     }
 
     /// Boots with full control of machine and kernel configuration.
+    /// Thin delegate to [`crate::sim::SimBuilder`].
     ///
     /// # Panics
     ///
@@ -48,17 +50,30 @@ impl PlatinumHarness {
         policy: Box<dyn ReplicationPolicy>,
         kernel: KernelConfig,
     ) -> Self {
-        let machine = Machine::new(machine).expect("valid machine config");
-        let kernel = Kernel::with_config(machine, policy, kernel);
-        let space = kernel.create_space();
-        Self { kernel, space }
+        crate::sim::SimBuilder::nodes(machine.nodes)
+            .machine_config(machine)
+            .policy_box(policy)
+            .kernel_config(kernel)
+            .build()
+            .into()
     }
 
     /// The number of processors.
     pub fn nprocs(&self) -> usize {
         self.kernel.machine().nprocs()
     }
+}
 
+impl From<crate::sim::Sim> for PlatinumHarness {
+    fn from(sim: crate::sim::Sim) -> Self {
+        Self {
+            kernel: sim.kernel,
+            space: sim.space,
+        }
+    }
+}
+
+impl PlatinumHarness {
     /// Creates a memory object of `pages` pages, maps it into the
     /// application's space, and wraps it as an allocation [`Zone`].
     pub fn alloc_zone(&self, pages: usize) -> Zone {

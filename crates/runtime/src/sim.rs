@@ -1,0 +1,302 @@
+//! One-call simulator setup: the [`SimBuilder`] fluent facade.
+//!
+//! Booting a PLATINUM simulation by hand takes five steps — machine
+//! config, `Machine::new`, `Kernel::with_config`, `create_space`, and
+//! per-thread `attach` — plus tracer and fault-plan installation for
+//! instrumented runs. The builder folds all of that into one chain:
+//!
+//! ```
+//! use platinum_runtime::sim::SimBuilder;
+//! use platinum::PolicyKind;
+//!
+//! let sim = SimBuilder::nodes(4).policy(PolicyKind::Platinum).build();
+//! let zone = sim.alloc_zone(1);
+//! let v = sim.spawn(0, |ctx| {
+//!     use numa_machine::Mem;
+//!     ctx.write(zone.base(), 7);
+//!     ctx.read(zone.base())
+//! });
+//! assert_eq!(v.unwrap(), 7);
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use numa_machine::{Machine, MachineConfig};
+use platinum::trace::{TraceConfig, Tracer};
+use platinum::{
+    AddressSpace, FaultPlan, Kernel, KernelConfig, PlatinumPolicy, PolicyKind, ReplicationPolicy,
+    Rights, ShootdownMode, UserCtx,
+};
+
+use crate::measure::RunStats;
+use crate::par::run_workers;
+use crate::zones::Zone;
+
+/// Fluent builder for a booted simulation. Entry point: [`SimBuilder::nodes`].
+///
+/// Every knob is optional; the defaults are the paper's (PLATINUM policy,
+/// per-processor-Pmap shootdown, 1 s defrost period) on a machine with a
+/// deep enough frame pool that replication never hits memory pressure.
+pub struct SimBuilder {
+    nodes: usize,
+    machine: Option<MachineConfig>,
+    frames_per_node: Option<usize>,
+    policy: Option<Box<dyn ReplicationPolicy>>,
+    kernel: KernelConfig,
+    trace: Option<(PathBuf, TraceConfig)>,
+}
+
+impl SimBuilder {
+    /// Starts a builder for a `nodes`-node machine (one processor + one
+    /// memory module per node, BBN Butterfly Plus latencies).
+    pub fn nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            machine: None,
+            frames_per_node: None,
+            policy: None,
+            kernel: KernelConfig::default(),
+            trace: None,
+        }
+    }
+
+    /// Replaces the whole machine configuration (overrides
+    /// [`SimBuilder::nodes`] and [`SimBuilder::frames_per_node`]).
+    pub fn machine_config(mut self, cfg: MachineConfig) -> Self {
+        self.machine = Some(cfg);
+        self
+    }
+
+    /// Physical frames per memory module (default 4096: deep enough that
+    /// benchmarks replicate freely without frame exhaustion).
+    pub fn frames_per_node(mut self, frames: usize) -> Self {
+        self.frames_per_node = Some(frames);
+        self
+    }
+
+    /// Selects a replication policy by name.
+    pub fn policy(self, kind: PolicyKind) -> Self {
+        self.policy_box(kind.build())
+    }
+
+    /// Installs a custom replication policy object.
+    pub fn policy_box(mut self, policy: Box<dyn ReplicationPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Replaces the whole kernel configuration (later shootdown/defrost/
+    /// cmap/faults calls edit this).
+    pub fn kernel_config(mut self, cfg: KernelConfig) -> Self {
+        self.kernel = cfg;
+        self
+    }
+
+    /// Selects the shootdown mechanism (PLATINUM's per-processor Pmap or
+    /// the Mach-style shared-Pmap comparator).
+    pub fn shootdown(mut self, mode: ShootdownMode) -> Self {
+        self.kernel.shootdown = mode;
+        self
+    }
+
+    /// Defrost daemon period t2, in virtual nanoseconds.
+    pub fn defrost_ns(mut self, t2: u64) -> Self {
+        self.kernel.t2_defrost_ns = t2;
+        self
+    }
+
+    /// Number of Cmap directory shards (a host-side concurrency knob).
+    pub fn cmap_shards(mut self, shards: usize) -> Self {
+        self.kernel.cmap_shards = shards;
+        self
+    }
+
+    /// Installs a protocol-event tracer at build time and remembers
+    /// `path`; [`Sim::write_trace`] exports the Chrome/Perfetto JSON
+    /// there after the run.
+    pub fn trace(mut self, path: impl AsRef<Path>) -> Self {
+        self.trace = Some((path.as_ref().to_path_buf(), TraceConfig::default()));
+        self
+    }
+
+    /// Like [`SimBuilder::trace`] with an explicit ring capacity.
+    pub fn trace_with(mut self, path: impl AsRef<Path>, cfg: TraceConfig) -> Self {
+        self.trace = Some((path.as_ref().to_path_buf(), cfg));
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan. Without one, every
+    /// injection hook in the kernel is a single pointer test.
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.kernel.faults = Some(plan);
+        self
+    }
+
+    /// Boots the machine and kernel and creates the application's address
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid machine configuration — simulation setup is
+    /// programmer-controlled.
+    pub fn build(self) -> Sim {
+        let mcfg = self.machine.unwrap_or_else(|| {
+            let mut c = MachineConfig::with_nodes(self.nodes);
+            c.frames_per_node = self.frames_per_node.unwrap_or(4096);
+            c
+        });
+        let machine = Machine::new(mcfg).expect("valid machine config");
+        let policy = self
+            .policy
+            .unwrap_or_else(|| Box::new(PlatinumPolicy::paper_default()));
+        let kernel = Kernel::with_config(Arc::clone(&machine), policy, self.kernel);
+        let trace_path = self.trace.map(|(path, tcfg)| {
+            kernel.install_tracer(Tracer::new(tcfg));
+            path
+        });
+        let space = kernel.create_space();
+        Sim {
+            machine,
+            kernel,
+            space,
+            trace_path,
+        }
+    }
+}
+
+/// A booted simulation: machine, kernel, and one application address
+/// space, ready to attach threads.
+pub struct Sim {
+    /// The simulated NUMA machine.
+    pub machine: Arc<Machine>,
+    /// The kernel booted on it.
+    pub kernel: Arc<Kernel>,
+    /// The application's address space.
+    pub space: Arc<AddressSpace>,
+    trace_path: Option<PathBuf>,
+}
+
+impl Sim {
+    /// The number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.machine.nprocs()
+    }
+
+    /// Attaches a thread to `proc` in the application's space (virtual
+    /// clock starting at 0). The returned context lives until dropped;
+    /// at most one thread per processor.
+    pub fn attach(&self, proc: usize) -> platinum::Result<UserCtx> {
+        self.kernel.attach(Arc::clone(&self.space), proc, 0)
+    }
+
+    /// Attaches a thread to `proc`, runs `entry` on it, and detaches.
+    pub fn spawn<R>(
+        &self,
+        proc: usize,
+        entry: impl FnOnce(&mut UserCtx) -> R,
+    ) -> platinum::Result<R> {
+        let mut ctx = self.attach(proc)?;
+        Ok(entry(&mut ctx))
+    }
+
+    /// Runs `f(worker_index, ctx)` on processors `0..n` in parallel and
+    /// collects results plus per-worker statistics.
+    pub fn run<F, R>(&self, n: usize, f: F) -> (Vec<R>, RunStats)
+    where
+        F: Fn(usize, &mut UserCtx) -> R + Sync,
+        R: Send,
+    {
+        run_workers(&self.kernel, &self.space, n, f)
+    }
+
+    /// Creates a memory object of `pages` pages, maps it into the
+    /// application's space, and wraps it as an allocation [`Zone`].
+    pub fn alloc_zone(&self, pages: usize) -> Zone {
+        let object = self.kernel.create_object(pages);
+        let base = self
+            .space
+            .map_anywhere(object, Rights::RW)
+            .expect("fresh mapping cannot conflict");
+        let words = pages * self.machine.cfg().words_per_page();
+        Zone::new(base, words, self.machine.cfg().words_per_page())
+    }
+
+    /// The tracer installed by [`SimBuilder::trace`], if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.kernel.tracer()
+    }
+
+    /// Exports the collected trace as Chrome/Perfetto JSON to the path
+    /// given to [`SimBuilder::trace`]. Returns the path written, or
+    /// `None` when no tracer was requested.
+    pub fn write_trace(&self) -> std::io::Result<Option<&Path>> {
+        let (Some(path), Some(tracer)) = (self.trace_path.as_deref(), self.kernel.tracer()) else {
+            return Ok(None);
+        };
+        let json = platinum::trace::chrome::chrome_trace_string(&tracer.snapshot());
+        std::fs::write(path, json)?;
+        Ok(Some(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_machine::Mem;
+
+    #[test]
+    fn builder_boots_and_spawns() {
+        let sim = SimBuilder::nodes(2).policy(PolicyKind::Platinum).build();
+        assert_eq!(sim.nprocs(), 2);
+        let zone = sim.alloc_zone(1);
+        let base = zone.base();
+        let v = sim
+            .spawn(0, |ctx| {
+                ctx.write(base, 41);
+                ctx.read(base) + 1
+            })
+            .expect("processor 0 free");
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn builder_full_chain_with_faults_and_trace() {
+        let dir = std::env::temp_dir().join("platinum-simbuilder-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let sim = SimBuilder::nodes(2)
+            .frames_per_node(256)
+            .policy(PolicyKind::Platinum)
+            .shootdown(ShootdownMode::PerProcessorPmap)
+            .defrost_ns(1_000_000)
+            .cmap_shards(4)
+            .trace(&path)
+            .faults(Arc::new(FaultPlan::chaos(7, 0))) // plan installed, rate 0
+            .build();
+        assert!(sim.kernel.fault_plan().is_some());
+        let zone = sim.alloc_zone(1);
+        let base = zone.base();
+        let (vals, _) = sim.run(2, |i, ctx| {
+            ctx.fetch_add(base, 1);
+            i
+        });
+        assert_eq!(vals, vec![0, 1]);
+        let written = sim.write_trace().expect("trace export");
+        assert_eq!(written, Some(path.as_path()));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("traceEvents"));
+    }
+
+    #[test]
+    fn run_matches_harness_boilerplate() {
+        // The facade and the hand-rolled boot produce the same simulation.
+        let sim = SimBuilder::nodes(2).build();
+        let by_hand = crate::par::PlatinumHarness::new(2);
+        assert_eq!(sim.nprocs(), by_hand.nprocs());
+        assert_eq!(
+            sim.machine.cfg().frames_per_node,
+            by_hand.kernel.machine().cfg().frames_per_node
+        );
+    }
+}

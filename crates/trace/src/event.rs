@@ -28,6 +28,11 @@
 /// | `LockAcquire` | 0 | lock va | spin iterations |
 /// | `LockRelease` | 0 | lock va | 0 |
 /// | `PolicyDecision` | 0=replicate 1=map 2=map+freeze | coherent page id | 0 |
+/// | `MemError` | retry attempt | coherent page id | faulty module |
+/// | `ShootdownTimeout` | retry attempt | coherent page id | silent proc |
+/// | `TransferFault` | retry attempt | coherent page id | src module |
+/// | `AllocFault` | probe attempt | coherent page id | refusing module |
+/// | `FaultRecovery` | [`FaultSite`] | coherent page id | begin vtime (ns) |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum EventKind {
@@ -73,11 +78,23 @@ pub enum EventKind {
     LockRelease = 19,
     /// The replication policy chose how to resolve a fault.
     PolicyDecision = 20,
+    /// An injected transient memory-module error hit a frame read.
+    MemError = 21,
+    /// A shootdown ack never arrived; the initiator timed out.
+    ShootdownTimeout = 22,
+    /// A block transfer failed mid-copy and must be retried whole-page.
+    TransferFault = 23,
+    /// A memory module refused a frame allocation (injected fault).
+    AllocFault = 24,
+    /// A fault-injection episode finished recovering; `arg` carries the
+    /// vtime at which the first error was observed, so exporters can
+    /// render the whole fault → retry → recovery episode as a span.
+    FaultRecovery = 25,
 }
 
 impl EventKind {
     /// Number of kinds (counters and decode tables are sized by this).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 26;
 
     /// Every kind, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -102,6 +119,11 @@ impl EventKind {
         EventKind::LockAcquire,
         EventKind::LockRelease,
         EventKind::PolicyDecision,
+        EventKind::MemError,
+        EventKind::ShootdownTimeout,
+        EventKind::TransferFault,
+        EventKind::AllocFault,
+        EventKind::FaultRecovery,
     ];
 
     /// Decodes a discriminant produced by `kind as u8`.
@@ -133,6 +155,11 @@ impl EventKind {
             EventKind::LockAcquire => "lock_acquire",
             EventKind::LockRelease => "lock_release",
             EventKind::PolicyDecision => "policy",
+            EventKind::MemError => "mem_error",
+            EventKind::ShootdownTimeout => "shootdown_timeout",
+            EventKind::TransferFault => "transfer_fault",
+            EventKind::AllocFault => "alloc_fault",
+            EventKind::FaultRecovery => "fault_recovery",
         }
     }
 
@@ -163,6 +190,11 @@ impl EventKind {
                 | EventKind::ReplicaEvict
                 | EventKind::FrameFree
                 | EventKind::PolicyDecision
+                | EventKind::MemError
+                | EventKind::ShootdownTimeout
+                | EventKind::TransferFault
+                | EventKind::AllocFault
+                | EventKind::FaultRecovery
         )
     }
 }

@@ -4,25 +4,24 @@
 //! Run with:
 //!   cargo run --release --example quickstart
 
-use std::sync::Arc;
-
-use platinum_repro::kernel::{Kernel, Rights};
-use platinum_repro::machine::{Machine, MachineConfig, Mem};
+use platinum_repro::kernel::{PolicyKind, Rights};
+use platinum_repro::machine::Mem;
+use platinum_repro::runtime::SimBuilder;
 
 fn main() {
     // A 4-node machine: one processor + one memory module per node, with
-    // the BBN Butterfly Plus latencies (320 ns local, ~5 us remote).
-    let machine = Machine::new(MachineConfig::with_nodes(4)).expect("valid config");
-    let kernel = Kernel::new(machine);
+    // the BBN Butterfly Plus latencies (320 ns local, ~5 us remote). One
+    // builder chain boots the machine, the kernel, and an address space.
+    let sim = SimBuilder::nodes(4).policy(PolicyKind::Platinum).build();
+    let kernel = &sim.kernel;
 
     // The kernel's abstractions are globally named: memory objects bind
     // into address spaces; threads attach to processors.
-    let space = kernel.create_space();
     let object = kernel.create_object(2); // a 2-page memory object
-    let base = space.map_anywhere(object, Rights::RW).expect("mapping");
+    let base = sim.space.map_anywhere(object, Rights::RW).expect("mapping");
 
     // A thread on processor 0 writes a page...
-    let mut t0 = kernel.attach(Arc::clone(&space), 0, 0).expect("attach");
+    let mut t0 = sim.attach(0).expect("attach");
     for w in 0..8 {
         t0.write(base + 4 * w, (w as u32 + 1) * 11);
     }
@@ -36,7 +35,7 @@ fn main() {
     // the kernel replicates the page to the reader's node, after which
     // every reference is local.
     for p in 1..4 {
-        let mut t = kernel.attach(Arc::clone(&space), p, 0).expect("attach");
+        let mut t = sim.attach(p).expect("attach");
         let v = t.read(base + 4);
         println!(
             "processor {p} read {v} (replicated locally; vtime {} us)",
@@ -48,7 +47,7 @@ fn main() {
     // Interleaved writes from two processors freeze the page: the kernel
     // gives up on caching it and uses remote references instead.
     t0.resume();
-    let mut t1 = kernel.attach(Arc::clone(&space), 1, 0).expect("attach");
+    let mut t1 = sim.attach(1).expect("attach");
     for round in 0..3 {
         t1.suspend();
         t0.resume();
