@@ -44,6 +44,18 @@ pub struct GaussConfig {
     pub seed: u64,
 }
 
+impl GaussConfig {
+    /// The default configuration at matrix dimension `n` — the one way
+    /// every harness and benchmark derives a sized problem, so the seed
+    /// and compute model stay single-sourced here.
+    pub fn with_n(n: usize) -> Self {
+        Self {
+            n,
+            ..Default::default()
+        }
+    }
+}
+
 impl Default for GaussConfig {
     fn default() -> Self {
         Self {
@@ -88,6 +100,14 @@ impl GaussLayout {
     /// The number of pages the matrix occupies.
     pub fn pages(&self, page_words: usize) -> usize {
         (self.row_stride_words * self.n).div_ceil(page_words)
+    }
+
+    /// Pages a zone must hold so [`GaussLayout::alloc`] succeeds for an
+    /// `n`×`n` matrix: the page-aligned rows plus alignment slop. The
+    /// single source of truth for every harness that sizes a gauss zone.
+    pub fn zone_pages(n: usize, page_words: usize) -> usize {
+        let stride = n.div_ceil(page_words) * page_words;
+        (stride * n).div_ceil(page_words) + 2
     }
 }
 

@@ -101,9 +101,7 @@ fn run_gauss_faulty(
     };
     let h = boot(nodes, policy, faults);
     let page_words = h.kernel.machine().cfg().words_per_page();
-    let stride = cfg.n.div_ceil(page_words) * page_words;
-    let pages = (stride * cfg.n).div_ceil(page_words) + 2;
-    let mut data = h.alloc_zone(pages);
+    let mut data = h.alloc_zone(GaussLayout::zone_pages(cfg.n, page_words));
     let lay = GaussLayout::alloc(&mut data, cfg.n, page_words);
     let mut sync = h.alloc_zone(1);
     let ec = EventCount::new(sync.alloc_words(1));
@@ -173,9 +171,7 @@ pub fn run_gauss_anecdote(
     };
     let h = PlatinumHarness::with_config(machine_cfg, PolicyKind::Platinum.build(), kcfg);
     let page_words = h.kernel.machine().cfg().words_per_page();
-    let stride = cfg.n.div_ceil(page_words) * page_words;
-    let pages = (stride * cfg.n).div_ceil(page_words) + 2;
-    let mut data = h.alloc_zone(pages);
+    let mut data = h.alloc_zone(GaussLayout::zone_pages(cfg.n, page_words));
     let lay = GaussLayout::alloc(&mut data, cfg.n, page_words);
 
     let mut sync = h.alloc_zone(2);
@@ -243,8 +239,7 @@ fn run_mergesort_faulty(
 ) -> AppRun {
     let h = boot(nodes, PolicyKind::Platinum, faults);
     let page_words = h.kernel.machine().cfg().words_per_page();
-    let pages = (2 * cfg.n).div_ceil(page_words) + 4;
-    let mut data = h.alloc_zone(pages);
+    let mut data = h.alloc_zone(SortLayout::zone_pages(cfg.n, page_words));
     let lay = SortLayout::alloc(&mut data, cfg.n);
     let mut sync = h.alloc_zone(1);
     let barrier = Barrier::new(sync.alloc_words(1), sync.alloc_words(1), p as u32);
@@ -325,7 +320,7 @@ fn run_neural_faulty(
     faults: Option<Arc<FaultPlan>>,
 ) -> (AppRun, f64) {
     let h = boot(nodes, PolicyKind::Platinum, faults);
-    let mut zone = h.alloc_zone(neural::UNITS + 2);
+    let mut zone = h.alloc_zone(NeuralLayout::zone_pages());
     let lay = NeuralLayout::alloc(&mut zone);
     h.run(1, |_, ctx| neural::init(ctx, &lay));
     // Owners first-touch their units' weight pages (local placement).
@@ -348,10 +343,7 @@ mod tests {
     use super::*;
 
     fn small_gauss() -> GaussConfig {
-        GaussConfig {
-            n: 48,
-            ..Default::default()
-        }
+        GaussConfig::with_n(48)
     }
 
     #[test]
@@ -388,10 +380,7 @@ mod tests {
         // dominates the per-round pivot replication overhead (~1.34 ms);
         // tiny matrices genuinely do not speed up, as inequality (2)
         // predicts.
-        let cfg = GaussConfig {
-            n: 192,
-            ..Default::default()
-        };
+        let cfg = GaussConfig::with_n(192);
         let t1 = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 4, 1, &cfg).elapsed_ns;
         let t4 = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 4, 4, &cfg).elapsed_ns;
         assert!(t4 < t1, "4 processors must beat 1: t1={t1} t4={t4}");
@@ -399,10 +388,7 @@ mod tests {
 
     #[test]
     fn mergesort_platinum_and_uma_verify() {
-        let cfg = SortConfig {
-            n: 1 << 12,
-            ..Default::default()
-        };
+        let cfg = SortConfig::with_n(1 << 12);
         let pl = run_mergesort_platinum(4, 4, &cfg);
         assert!(pl.elapsed_ns > 0);
         let uma = run_mergesort_uma(4, 4, &cfg);
@@ -411,10 +397,7 @@ mod tests {
 
     #[test]
     fn neural_trains_and_freezes_pages() {
-        let cfg = NeuralConfig {
-            epochs: 8,
-            ..Default::default()
-        };
+        let cfg = NeuralConfig::with_epochs(8);
         let (run, _err) = run_neural(4, 4, &cfg);
         assert!(
             run.kernel_stats.freezes > 0,

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod gauss;
 pub mod harness;
 pub mod mergesort;

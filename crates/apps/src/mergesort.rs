@@ -32,6 +32,17 @@ pub struct SortConfig {
     pub seed: u64,
 }
 
+impl SortConfig {
+    /// The default configuration at `n` keys — seed and compute model
+    /// stay single-sourced in [`Default`].
+    pub fn with_n(n: usize) -> Self {
+        Self {
+            n,
+            ..Default::default()
+        }
+    }
+}
+
 impl Default for SortConfig {
     fn default() -> Self {
         Self {
@@ -61,6 +72,12 @@ impl SortLayout {
         let a = zone.alloc_page_aligned(n);
         let b = zone.alloc_page_aligned(n);
         Self { a, b, n }
+    }
+
+    /// Pages a zone must hold so [`SortLayout::alloc`] succeeds for `n`
+    /// keys: both arrays plus alignment slop.
+    pub fn zone_pages(n: usize, page_words: usize) -> usize {
+        (2 * n).div_ceil(page_words) + 4
     }
 }
 

@@ -49,6 +49,17 @@ pub struct NeuralConfig {
     pub compute_ns_per_act: u64,
 }
 
+impl NeuralConfig {
+    /// The default configuration trained for `epochs` — learning rate
+    /// and compute model stay single-sourced in [`Default`].
+    pub fn with_epochs(epochs: usize) -> Self {
+        Self {
+            epochs,
+            ..Default::default()
+        }
+    }
+}
+
 impl Default for NeuralConfig {
     fn default() -> Self {
         Self {
@@ -90,6 +101,12 @@ const REC_DELTA: usize = 1;
 const REC_W: usize = 2;
 
 impl NeuralLayout {
+    /// Pages a zone must hold so [`NeuralLayout::alloc`] succeeds: one
+    /// page per unit record plus the pattern pages.
+    pub fn zone_pages() -> usize {
+        UNITS + 2
+    }
+
     /// Allocates the unit records (one page each) and the pattern page.
     pub fn alloc(zone: &mut Zone) -> Self {
         let stride = zone.page_words();

@@ -58,10 +58,7 @@ fn t1_sweep(args: &Args) {
     let n = args.get_or("--n", 300usize);
     let p = args.get_or("--procs", 8usize);
     println!("t1 sensitivity (Gaussian elimination {n}x{n}, p={p}):");
-    let cfg = GaussConfig {
-        n,
-        ..Default::default()
-    };
+    let cfg = GaussConfig::with_n(n);
     let mut table = Table::new(vec!["t1 ms", "time ms", "freezes"]);
     for t1_ms in [1u64, 10, 30, 100] {
         let mut mcfg = MachineConfig::with_nodes(16.max(p));
@@ -108,10 +105,7 @@ fn t2_sweep(args: &Args) {
     let n = args.get_or("--n", 300usize);
     let p = args.get_or("--procs", 8usize);
     println!("t2 sensitivity (frozen-page anecdote, co-located layout, {n}x{n}, p={p}):");
-    let cfg = GaussConfig {
-        n,
-        ..Default::default()
-    };
+    let cfg = GaussConfig::with_n(n);
     let mut table = Table::new(vec!["t2", "time ms", "thaws"]);
     for (label, t2) in [
         ("100 ms", 100_000_000u64),
@@ -136,10 +130,7 @@ fn variant_compare(args: &Args) {
     let n = args.get_or("--n", 300usize);
     let p = args.get_or("--procs", 8usize);
     println!("post-freeze policy variants (Gaussian elimination {n}x{n}, p={p} + neural net):");
-    let cfg = GaussConfig {
-        n,
-        ..Default::default()
-    };
+    let cfg = GaussConfig::with_n(n);
     let mut table = Table::new(vec!["workload", "defrost-only ms", "thaw-on-access ms"]);
     let g1 = run_gauss(GaussStyle::Shared(PolicyKind::Platinum), 16.max(p), p, &cfg);
     let g2 = run_gauss(
@@ -154,10 +145,7 @@ fn variant_compare(args: &Args) {
         format!("{:.1}", g1.elapsed_ns as f64 / 1e6),
         format!("{:.1}", g2.elapsed_ns as f64 / 1e6),
     ]);
-    let ncfg = NeuralConfig {
-        epochs: 20,
-        ..Default::default()
-    };
+    let ncfg = NeuralConfig::with_epochs(20);
     let (n1, _) = run_neural_with(PolicyKind::Platinum, 8, &ncfg);
     let (n2, _) = run_neural_with(PolicyKind::PlatinumThawOnAccess, 8, &ncfg);
     table.row(vec![
@@ -224,10 +212,7 @@ fn pagesize_sweep(args: &Args) {
     let n = args.get_or("--n", 300usize);
     let p = args.get_or("--procs", 8usize);
     println!("page-size sweep (Gaussian elimination {n}x{n}, p={p}):");
-    let cfg = GaussConfig {
-        n,
-        ..Default::default()
-    };
+    let cfg = GaussConfig::with_n(n);
     let mut table = Table::new(vec!["page", "time ms", "replications"]);
     for shift in [10u32, 12, 14] {
         let mut mcfg = MachineConfig::with_nodes(16.max(p));

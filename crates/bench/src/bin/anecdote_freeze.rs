@@ -28,10 +28,7 @@ fn main() {
     let sink = TraceSink::from_args(&args);
     let n = args.get_or("--n", 300usize);
     let p = args.get_or("--procs", 8usize);
-    let cfg = GaussConfig {
-        n,
-        ..Default::default()
-    };
+    let cfg = GaussConfig::with_n(n);
 
     println!("Section 4.2 anecdote: frozen synchronization page ({n}x{n} elimination, p={p})\n");
 

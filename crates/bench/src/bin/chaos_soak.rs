@@ -73,19 +73,10 @@ fn main() {
     // whole soak.
     let tracer = platinum::trace::install_global(TraceConfig::default());
 
-    let gauss_cfg = GaussConfig {
-        n: 48,
-        ..GaussConfig::default()
-    };
+    let gauss_cfg = GaussConfig::with_n(48);
     let gauss_ref = gauss::reference_checksum(&gauss_cfg);
-    let sort_cfg = SortConfig {
-        n: 1 << 12,
-        ..SortConfig::default()
-    };
-    let neural_cfg = NeuralConfig {
-        epochs: 4,
-        ..NeuralConfig::default()
-    };
+    let sort_cfg = SortConfig::with_n(1 << 12);
+    let neural_cfg = NeuralConfig::with_epochs(4);
 
     println!(
         "chaos soak: {seeds} seeds, {nodes} nodes, {procs} procs, {ppm} ppm per site, \

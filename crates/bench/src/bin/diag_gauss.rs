@@ -8,10 +8,7 @@ use platinum_runtime::sync::EventCount;
 fn main() {
     let args = Args::parse();
     let sink = TraceSink::from_args(&args);
-    let cfg = GaussConfig {
-        n: 200,
-        ..Default::default()
-    };
+    let cfg = GaussConfig::with_n(200);
     let mut mcfg = MachineConfig::with_nodes(16);
     mcfg.frames_per_node = 4096;
     let h = PlatinumHarness::with_config(

@@ -30,10 +30,7 @@ fn main() {
     } else {
         (1..=max_procs).collect()
     };
-    let cfg = GaussConfig {
-        n,
-        ..Default::default()
-    };
+    let cfg = GaussConfig::with_n(n);
 
     println!("Figure 1: Gaussian elimination ({n}x{n}), speedup vs processors");
     println!("paper targets at p=16: PLATINUM 13.5, Uniform System 10.6, SMP 15.3\n");

@@ -25,10 +25,7 @@ fn main() {
         .into_iter()
         .filter(|&p| p <= max_procs)
         .collect();
-    let cfg = SortConfig {
-        n,
-        ..Default::default()
-    };
+    let cfg = SortConfig::with_n(n);
 
     println!("Figure 5: merge sort ({n} keys), speedup vs processors");
     println!("paper: PLATINUM (Butterfly Plus) above the Sequent Symmetry throughout\n");

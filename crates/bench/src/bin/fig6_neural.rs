@@ -20,10 +20,7 @@ fn main() {
     let args = Args::parse();
     let sink = TraceSink::from_args(&args);
     let max_procs = args.get_or("--max-procs", 10usize);
-    let cfg = NeuralConfig {
-        epochs: args.get_or("--epochs", 40usize),
-        ..Default::default()
-    };
+    let cfg = NeuralConfig::with_epochs(args.get_or("--epochs", 40usize));
 
     println!("Figure 6: recurrent backpropagation simulator (40 units, 16 patterns)");
     println!("paper: linear speedup, slope ~1/2 per incremental processor\n");

@@ -1,0 +1,5 @@
+//! The Fig.-1-style policy matrix; see `platinum_bench::policy_matrix`.
+
+fn main() {
+    platinum_bench::policy_matrix::run()
+}

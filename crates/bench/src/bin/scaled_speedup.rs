@@ -38,10 +38,7 @@ fn main() {
         "scaled eff %",
     ]);
 
-    let fixed_cfg = GaussConfig {
-        n: base_n,
-        ..Default::default()
-    };
+    let fixed_cfg = GaussConfig::with_n(base_n);
     let t1_fixed = run_gauss(
         GaussStyle::Shared(PolicyKind::Platinum),
         max_procs,
@@ -70,10 +67,7 @@ fn main() {
         // Scaled: total work ~ n^3 grows with p, so n(p) = base_n * p^(1/3);
         // efficiency = T1(n(p)) scaled-work-rate vs Tp.
         let n_scaled = ((base_n as f64) * (p as f64).powf(1.0 / 3.0)).round() as usize;
-        let scaled_cfg = GaussConfig {
-            n: n_scaled,
-            ..Default::default()
-        };
+        let scaled_cfg = GaussConfig::with_n(n_scaled);
         let tp_scaled = run_gauss(
             GaussStyle::Shared(PolicyKind::Platinum),
             max_procs,

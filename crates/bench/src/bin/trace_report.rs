@@ -13,9 +13,14 @@
 //!   * the defrost daemon's thaw ending the span.
 //!
 //! Usage:
-//!   trace_report [--n 120] [--procs 8] [--trace out.json]
+//!   trace_report [--n 120] [--procs 8] [--trace out.json] [--json]
 //!
 //! `--trace` additionally writes the full Chrome JSON for Perfetto.
+//! `--json` replaces the text report with a machine-readable JSON object
+//! (elapsed_ns, event totals, hottest frozen page) so CI can diff fields
+//! instead of scraping text.
+
+use std::fmt::Write as _;
 
 use platinum::trace::timeline::{frozen_spans, page_timeline};
 use platinum::trace::{chrome, EventKind, TraceConfig};
@@ -27,34 +32,15 @@ fn main() {
     let args = Args::parse();
     let n = args.get_or("--n", 120usize);
     let p = args.get_or("--procs", 8usize);
+    let as_json = args.flag("--json");
     let tracer = platinum::trace::install_global(TraceConfig::default());
 
-    println!("Section 4.2 anecdote under the tracer ({n}x{n} elimination, p={p})\n");
-    let cfg = GaussConfig {
-        n,
-        ..Default::default()
-    };
+    if !as_json {
+        println!("Section 4.2 anecdote under the tracer ({n}x{n} elimination, p={p})\n");
+    }
+    let cfg = GaussConfig::with_n(n);
     let run = run_gauss_anecdote(16.max(p), p, &cfg, true, 1_000_000_000);
     let trace = tracer.snapshot();
-
-    println!(
-        "run: {:.1} ms, {} events traced ({} dropped)",
-        run.elapsed_ns as f64 / 1e6,
-        trace.events.len(),
-        trace.dropped
-    );
-    println!(
-        "{}\n",
-        platinum_analysis::report::atc_summary(&run.run.merged_counters())
-    );
-    println!("event totals:");
-    for kind in EventKind::ALL {
-        let c = trace.count(kind);
-        if c > 0 {
-            println!("  {:<16} {:>8}", kind.name(), c);
-        }
-    }
-    println!();
 
     // The diagnosis: the page with the longest frozen exposure.
     let mut frozen_pages: Vec<(u64, usize)> = trace
@@ -72,24 +58,81 @@ fn main() {
         .collect();
     frozen_pages.sort_by_key(|&(_, remote)| std::cmp::Reverse(remote));
 
-    match frozen_pages.first() {
-        Some(&(page, remote)) => {
-            println!(
-                "hottest frozen page: cpage {page} ({remote} remote-mapped faults while frozen)\n"
-            );
-            print!("{}", page_timeline(&trace, page));
-            println!(
-                "\ndiagnosis: every remote-mapped fault above is a processor taking a remote\n\
-                 reference in its inner loop because the page was frozen — the paper's\n\
-                 bottleneck, visible directly on the timeline."
-            );
+    if as_json {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"n\":{n},\"procs\":{p},\"elapsed_ns\":{},\
+             \"events_traced\":{},\"events_dropped\":{},\"event_totals\":{{",
+            run.elapsed_ns,
+            trace.events.len(),
+            trace.dropped,
+        );
+        let mut first = true;
+        for kind in EventKind::ALL {
+            let c = trace.count(kind);
+            if c > 0 {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                let _ = write!(s, "\"{}\":{c}", kind.name());
+            }
         }
-        None => println!("no page froze during this run (try a larger --procs)"),
+        s.push('}');
+        match frozen_pages.first() {
+            Some(&(page, remote)) => {
+                let _ = write!(
+                    s,
+                    ",\"hottest_frozen_page\":{{\"cpage\":{page},\
+                     \"remote_maps_while_frozen\":{remote}}}"
+                );
+            }
+            None => s.push_str(",\"hottest_frozen_page\":null"),
+        }
+        s.push('}');
+        println!("{s}");
+    } else {
+        println!(
+            "run: {:.1} ms, {} events traced ({} dropped)",
+            run.elapsed_ns as f64 / 1e6,
+            trace.events.len(),
+            trace.dropped
+        );
+        println!(
+            "{}\n",
+            platinum_analysis::report::atc_summary(&run.run.merged_counters())
+        );
+        println!("event totals:");
+        for kind in EventKind::ALL {
+            let c = trace.count(kind);
+            if c > 0 {
+                println!("  {:<16} {:>8}", kind.name(), c);
+            }
+        }
+        println!();
+
+        match frozen_pages.first() {
+            Some(&(page, remote)) => {
+                println!(
+                    "hottest frozen page: cpage {page} ({remote} remote-mapped faults while frozen)\n"
+                );
+                print!("{}", page_timeline(&trace, page));
+                println!(
+                    "\ndiagnosis: every remote-mapped fault above is a processor taking a remote\n\
+                     reference in its inner loop because the page was frozen — the paper's\n\
+                     bottleneck, visible directly on the timeline."
+                );
+            }
+            None => println!("no page froze during this run (try a larger --procs)"),
+        }
     }
 
     if let Some(path) = args.get::<String>("--trace") {
         let json = chrome::chrome_trace_string(&trace);
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("\nchrome trace written to {path} (load at https://ui.perfetto.dev)");
+        if !as_json {
+            println!("\nchrome trace written to {path} (load at https://ui.perfetto.dev)");
+        }
     }
 }

@@ -11,6 +11,7 @@
 
 pub mod args;
 pub mod micro;
+pub mod policy_matrix;
 pub mod trace_out;
 
 pub use args::Args;

@@ -1,0 +1,253 @@
+//! The Figure-1-style policy matrix: capture each application's
+//! reference stream once under PLATINUM, then replay it under the five
+//! placement policies and tabulate per-policy virtual time,
+//! remote-reference ratio, and freeze/defrost counts.
+//!
+//! One execution + five replays per application — the comparison is over
+//! *identical* reference streams, so differences are attributable to the
+//! policy alone. The PLATINUM replay doubles as a self-check: it must
+//! reproduce the live capture run bit for bit, and on gauss the Fig. 1
+//! ordering (coherent < local-only < remote-only) is asserted.
+//!
+//! ```text
+//! cargo run --release --bin policy_matrix
+//! cargo run --release --bin policy_matrix -- --n 80 --apps gauss --json
+//! ```
+//!
+//! Flags: `--nodes N` (4), `--procs P` (4), `--n N` (gauss matrix, 96),
+//! `--sort-n N` (2048), `--epochs E` (3), `--apps a,b,c`
+//! (gauss,mergesort,neural), `--json` (emit JSON instead of Markdown),
+//! `--out PATH` (also write the JSON to a file).
+
+use std::fmt::Write as _;
+
+use platinum::PolicyKind;
+use platinum_apps::capture::{record_gauss, record_mergesort, record_neural, CapturedRun};
+use platinum_apps::gauss::GaussConfig;
+use platinum_apps::mergesort::SortConfig;
+use platinum_apps::neural::NeuralConfig;
+use platinum_reftrace::replay;
+
+use crate::Args;
+
+/// One cell row of the matrix: an (app, policy) pair.
+struct Row {
+    app: String,
+    policy: &'static str,
+    elapsed_ns: u64,
+    remote_ratio: f64,
+    freezes: u64,
+    defrost_runs: u64,
+    replications: u64,
+    migrations: u64,
+    remote_maps: u64,
+    /// PLATINUM rows only: replay reproduced the live run exactly.
+    bit_identical: Option<bool>,
+}
+
+fn remote_ratio(run: &platinum_runtime::measure::RunStats) -> f64 {
+    let c = run.merged_counters();
+    let remote = c.remote_reads + c.remote_writes + c.remote_atomics;
+    let total = c.total_refs();
+    if total == 0 {
+        0.0
+    } else {
+        remote as f64 / total as f64
+    }
+}
+
+/// Replays `captured` under every Fig. 1 policy and returns the rows,
+/// asserting PLATINUM bit-identity against the live run.
+fn sweep(app: &str, captured: &CapturedRun) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for kind in PolicyKind::FIG1_SET {
+        let out = replay(&captured.trace, kind);
+        let last = out.phases.last().expect("trace has a measured phase");
+        let bit_identical = if kind == PolicyKind::Platinum {
+            let same = last
+                .stats
+                .workers
+                .iter()
+                .zip(&captured.live.run.workers)
+                .all(|(r, l)| r.vtime_ns == l.vtime_ns && r.counters == l.counters)
+                && out.kernel == captured.live.kernel_stats;
+            assert!(
+                same,
+                "{app}: PLATINUM replay diverged from the live run \
+                 (replay {} ns vs live {} ns)",
+                last.stats.elapsed_ns(),
+                captured.live.elapsed_ns,
+            );
+            Some(same)
+        } else {
+            None
+        };
+        rows.push(Row {
+            app: app.to_string(),
+            policy: kind.name(),
+            elapsed_ns: out.measured_elapsed_ns(),
+            remote_ratio: out.measured_remote_ratio(),
+            freezes: out.kernel.freezes,
+            defrost_runs: out.kernel.defrost_runs,
+            replications: out.kernel.replications,
+            migrations: out.kernel.migrations,
+            remote_maps: out.kernel.remote_maps,
+            bit_identical,
+        });
+    }
+    rows
+}
+
+fn elapsed_of(rows: &[Row], app: &str, kind: PolicyKind) -> u64 {
+    rows.iter()
+        .find(|r| r.app == app && r.policy == kind.name())
+        .map(|r| r.elapsed_ns)
+        .expect("policy row present")
+}
+
+fn markdown(rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "| app | policy | vtime (ms) | remote refs | freezes | defrosts \
+         | replications | migrations | remote maps |\n",
+    );
+    s.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|\n");
+    for r in rows {
+        let check = match r.bit_identical {
+            Some(true) => " *(= live run)*",
+            _ => "",
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {}{} | {:.3} | {:.1}% | {} | {} | {} | {} | {} |",
+            r.app,
+            r.policy,
+            check,
+            r.elapsed_ns as f64 / 1e6,
+            r.remote_ratio * 100.0,
+            r.freezes,
+            r.defrost_runs,
+            r.replications,
+            r.migrations,
+            r.remote_maps,
+        );
+    }
+    s
+}
+
+fn json(rows: &[Row], nodes: usize, procs: usize, checks: &[(String, bool)]) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\"nodes\":{nodes},\"procs\":{procs},\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"app\":\"{}\",\"policy\":\"{}\",\"elapsed_ns\":{},\
+             \"remote_ratio\":{:.6},\"freezes\":{},\"defrost_runs\":{},\
+             \"replications\":{},\"migrations\":{},\"remote_maps\":{}",
+            r.app,
+            r.policy,
+            r.elapsed_ns,
+            r.remote_ratio,
+            r.freezes,
+            r.defrost_runs,
+            r.replications,
+            r.migrations,
+            r.remote_maps,
+        );
+        if let Some(b) = r.bit_identical {
+            let _ = write!(s, ",\"bit_identical\":{b}");
+        }
+        s.push('}');
+    }
+    s.push_str("],\"checks\":{");
+    for (i, (name, ok)) in checks.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{name}\":{ok}");
+    }
+    s.push_str("}}");
+    s
+}
+
+/// Entry point shared by the `policy_matrix` binaries: parses CLI args,
+/// captures the requested apps, sweeps the Fig. 1 policies, prints the
+/// table, and asserts the bit-identity and ordering self-checks.
+pub fn run() {
+    let args = Args::parse();
+    let nodes = args.get_or("--nodes", 4usize);
+    let procs = args.get_or("--procs", 4usize).min(nodes);
+    let n = args.get_or("--n", 96usize);
+    let sort_n = args.get_or("--sort-n", 2048usize);
+    let epochs = args.get_or("--epochs", 3usize);
+    let apps = args
+        .get::<String>("--apps")
+        .unwrap_or_else(|| "gauss,mergesort,neural".to_string());
+    let as_json = args.flag("--json");
+
+    let mut rows = Vec::new();
+    let mut checks: Vec<(String, bool)> = Vec::new();
+    for app in apps.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+        let captured = match app {
+            "gauss" => record_gauss(nodes, procs, &GaussConfig::with_n(n)),
+            "mergesort" => record_mergesort(nodes, procs, &SortConfig::with_n(sort_n)),
+            "neural" => record_neural(nodes, procs, &NeuralConfig::with_epochs(epochs)).0,
+            other => panic!("unknown app {other:?} (expected gauss, mergesort, neural)"),
+        };
+        if !as_json {
+            println!(
+                "captured {app}: {} ops, live PLATINUM time {:.3} ms, \
+                 remote refs {:.1}%",
+                captured.trace.total_ops(),
+                captured.live.elapsed_ns as f64 / 1e6,
+                remote_ratio(&captured.live.run) * 100.0,
+            );
+        }
+        rows.extend(sweep(app, &captured));
+
+        if app == "gauss" {
+            // The paper's comparison (Fig. 1): coherent memory beats
+            // static placement, and local static beats all-remote.
+            let coherent = elapsed_of(&rows, app, PolicyKind::Platinum);
+            let local = elapsed_of(&rows, app, PolicyKind::LocalFirstTouch);
+            let remote = elapsed_of(&rows, app, PolicyKind::RemoteAlways);
+            // Tiny matrices cannot amortize replication (inequality (2)):
+            // below n≈48 even all-remote placement beats coherent memory,
+            // and the full strict ordering only emerges around n=80, so
+            // each check is asserted only where the paper's analysis
+            // predicts it. The comparison values are still reported.
+            checks.push(("gauss_remote_ge_coherent".into(), remote >= coherent));
+            if n >= 48 {
+                assert!(
+                    remote >= coherent,
+                    "remote-only beat coherent memory on gauss: {remote} < {coherent}"
+                );
+            }
+            if n >= 80 {
+                assert!(
+                    coherent < local && local < remote,
+                    "Fig. 1 ordering failed on gauss: coherent={coherent} \
+                     local-only={local} remote-only={remote}"
+                );
+                checks.push(("gauss_fig1_ordering".into(), true));
+            }
+        }
+    }
+
+    let out = json(&rows, nodes, procs, &checks);
+    if as_json {
+        println!("{out}");
+    } else {
+        println!("\n{}", markdown(&rows));
+        for (name, ok) in &checks {
+            println!("check {name}: {}", if *ok { "PASS" } else { "FAIL" });
+        }
+    }
+    if let Some(path) = args.get::<String>("--out") {
+        std::fs::write(&path, out).expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+}

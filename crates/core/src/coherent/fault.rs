@@ -25,6 +25,7 @@ fn action_code(action: FaultAction) -> u8 {
         FaultAction::Replicate => 0,
         FaultAction::RemoteMap { freeze: false } => 1,
         FaultAction::RemoteMap { freeze: true } => 2,
+        FaultAction::Migrate => 3,
     }
 }
 
@@ -171,8 +172,13 @@ impl Kernel {
 
         let res = match g.state {
             CpState::Empty => {
-                // First backing page: allocate and zero-fill locally.
-                let pp = self.alloc_frame(ctx, me, cpage, 0)?;
+                // First backing page: allocate and zero-fill where the
+                // policy homes first touches (locally for every policy in
+                // the paper; off-node for the remote-placement baseline).
+                let home = self
+                    .policy()
+                    .place_first_touch(me, vpn, self.machine().nprocs());
+                let pp = self.alloc_frame(ctx, home, cpage, 0)?;
                 self.charge_zero_fill(ctx);
                 g.add_copy(pp);
                 g.state = CpState::Present1;
@@ -192,6 +198,7 @@ impl Kernel {
                 self.record_decision(ctx, cpage.id(), &info, action);
                 match action {
                     FaultAction::Replicate => self.replicate_here(ctx, cpage, g, entry, vpn),
+                    FaultAction::Migrate => self.migrate_here(ctx, cpage, g, entry, vpn, false),
                     FaultAction::RemoteMap { freeze } => {
                         let pp = g.copies[0];
                         self.freeze_if_needed(ctx, cpage, g, freeze);
@@ -425,7 +432,10 @@ impl Kernel {
 
         // No local copy.
         if g.state == CpState::Empty {
-            let pp = self.alloc_frame(ctx, me, cpage, 0)?;
+            let home = self
+                .policy()
+                .place_first_touch(me, vpn, self.machine().nprocs());
+            let pp = self.alloc_frame(ctx, home, cpage, 0)?;
             self.charge_zero_fill(ctx);
             g.add_copy(pp);
             g.state = CpState::Modified;
@@ -444,7 +454,9 @@ impl Kernel {
         let action = self.policy().decide(&info);
         self.record_decision(ctx, cpage.id(), &info, action);
         match action {
-            FaultAction::Replicate => self.migrate_here(ctx, cpage, g, entry, vpn),
+            FaultAction::Replicate | FaultAction::Migrate => {
+                self.migrate_here(ctx, cpage, g, entry, vpn, true)
+            }
             FaultAction::RemoteMap { freeze } => {
                 // Write through a remote mapping. If the page is
                 // replicated, first collapse it to a single copy.
@@ -484,9 +496,11 @@ impl Kernel {
         }
     }
 
-    /// Migrates the page to the faulting processor's node for a write:
+    /// Migrates the page's single copy to the faulting processor's node:
     /// copy the data here, invalidate every other translation, reclaim
-    /// the old copies.
+    /// the old copies. `write` faults leave the page modified and mapped
+    /// writable; read migrations (the migrate-only baseline chasing a
+    /// read) leave a single read-only copy.
     fn migrate_here(
         &self,
         ctx: &mut UserCtx,
@@ -494,6 +508,7 @@ impl Kernel {
         g: &mut CpageInner,
         entry: &CmapEntry,
         vpn: u64,
+        write: bool,
     ) -> Result<FaultResolution> {
         let me = ctx.core.id();
         let my_bit = 1u64 << me;
@@ -515,7 +530,11 @@ impl Kernel {
         g.writer_mask = 0;
         g.remote_map_mask = 0;
         g.add_copy(pp);
-        g.state = CpState::Modified;
+        g.state = if write {
+            CpState::Modified
+        } else {
+            CpState::Present1
+        };
         g.last_invalidation = Some(ctx.core.vtime());
         g.migrations += 1;
         if g.frozen {
@@ -545,7 +564,7 @@ impl Kernel {
             cpage.id().0,
             me as u64,
         );
-        self.map_page(ctx, entry, vpn, pp, true, g);
+        self.map_page(ctx, entry, vpn, pp, write, g);
         Ok(FaultResolution::Migrated)
     }
 

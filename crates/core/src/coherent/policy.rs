@@ -1,14 +1,17 @@
-//! Replication policies: when to replicate/migrate and when to freeze.
+//! Placement policies: where pages live, when they move, when they freeze.
 //!
 //! "PLATINUM is designed to support experimentation with a family of
-//! policies" (§4.2). The [`ReplicationPolicy`] trait is that seam. The
-//! paper's interim policy is [`PlatinumPolicy`]; the baselines used by the
-//! benchmark harness are [`NeverReplicate`] (static placement, standing in
-//! for the Uniform System comparator of Figure 1), [`AlwaysReplicate`]
-//! (coherency at any price, the behaviour of pure software caching), and
-//! [`AceStyle`] (Bolosky et al.'s IBM ACE policy discussed in §8: never
-//! replicate writable pages, migrate a bounded number of times, then
-//! freeze).
+//! policies" (§4.2). The [`PlacementPolicy`] trait is that seam: it decides
+//! how a coherency miss is serviced ([`PlacementPolicy::decide`]) and where
+//! a first touch places a fresh page ([`PlacementPolicy::place_first_touch`]).
+//! The paper's interim policy is [`PlatinumPolicy`]; the Figure 1 baselines
+//! are [`MigrateOnly`] (single-copy chasing), [`ReplicateOnly`] (read
+//! replication without migration), [`LocalFirstTouch`] (static placement on
+//! the first toucher's module), and [`RemoteAlways`] (every page deliberately
+//! homed off-node — the all-remote floor). [`NeverReplicate`] (the historical
+//! name for static placement), [`AlwaysReplicate`] (coherency at any price),
+//! and [`AceStyle`] (Bolosky et al.'s IBM ACE policy discussed in §8) remain
+//! for the existing harnesses.
 
 use crate::coherent::cpage::CpState;
 
@@ -38,6 +41,10 @@ pub struct FaultInfo {
 pub enum FaultAction {
     /// Make (or, for writes, move to) a local physical copy.
     Replicate,
+    /// Move the page's single copy to the faulting processor's module,
+    /// even for a read — the page chases its referents. Never creates a
+    /// second copy and never freezes.
+    Migrate,
     /// Map an existing remote copy instead — "using remote memory access
     /// effectively disables caching on a block-by-block basis" (§1).
     RemoteMap {
@@ -48,10 +55,19 @@ pub enum FaultAction {
     },
 }
 
-/// A replication/migration policy.
-pub trait ReplicationPolicy: Send + Sync {
+/// A page placement policy: how coherency misses are serviced and where
+/// first touches land.
+pub trait PlacementPolicy: Send + Sync {
     /// Decides how to service a miss that has no usable local copy.
     fn decide(&self, info: &FaultInfo) -> FaultAction;
+
+    /// Picks the module that receives a page's very first physical copy.
+    /// `faulter` is the touching processor's module, `vpn` the page's
+    /// virtual page number, and `nodes` the machine size. The default —
+    /// used by every policy in the paper — is local first touch.
+    fn place_first_touch(&self, faulter: usize, _vpn: u64, _nodes: usize) -> usize {
+        faulter
+    }
 
     /// Whether a *frozen* page whose freeze window has expired may be
     /// thawed directly by an attempted access, rather than waiting for
@@ -64,6 +80,11 @@ pub trait ReplicationPolicy: Send + Sync {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
+
+/// Historical name for [`PlacementPolicy`], kept so existing call sites
+/// (`Kernel::with_policy(Box<dyn ReplicationPolicy>)`, harness helpers)
+/// keep compiling unchanged.
+pub use self::PlacementPolicy as ReplicationPolicy;
 
 /// The paper's interim policy (§4.2): replicate or migrate if the most
 /// recent protocol invalidation is at least `t1` in the past, otherwise
@@ -96,7 +117,7 @@ impl Default for PlatinumPolicy {
     }
 }
 
-impl ReplicationPolicy for PlatinumPolicy {
+impl PlacementPolicy for PlatinumPolicy {
     fn decide(&self, info: &FaultInfo) -> FaultAction {
         let recently_invalidated = match info.last_invalidation {
             Some(t) => info.now.saturating_sub(t) < self.t1_ns,
@@ -129,15 +150,95 @@ impl ReplicationPolicy for PlatinumPolicy {
     }
 }
 
+/// Single-copy migration: every miss moves the page's one copy to the
+/// faulting module, reads included. No replication, no freezing — the
+/// page ping-pongs between sharers, paying a block transfer plus a
+/// shootdown per move. One of the Figure 1 baselines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MigrateOnly;
+
+impl PlacementPolicy for MigrateOnly {
+    fn decide(&self, _info: &FaultInfo) -> FaultAction {
+        FaultAction::Migrate
+    }
+
+    fn name(&self) -> &'static str {
+        "migrate-only"
+    }
+}
+
+/// Read replication without migration: read misses replicate freely, but a
+/// write miss never moves the page — the writer maps the existing copy
+/// remotely. (Writes to widely-read pages still collapse the copy set:
+/// that is the coherency protocol, not the policy.)
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicateOnly;
+
+impl PlacementPolicy for ReplicateOnly {
+    fn decide(&self, info: &FaultInfo) -> FaultAction {
+        if info.write {
+            FaultAction::RemoteMap { freeze: false }
+        } else {
+            FaultAction::Replicate
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "replicate-only"
+    }
+}
+
+/// Static placement, local first touch: a page lives wherever it was first
+/// touched and never moves; later sharers map it remotely. This is the
+/// behaviour a carefully-written Uniform System program gets from static
+/// data scattering (the "local" memory curve of Figure 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalFirstTouch;
+
+impl PlacementPolicy for LocalFirstTouch {
+    fn decide(&self, _info: &FaultInfo) -> FaultAction {
+        FaultAction::RemoteMap { freeze: false }
+    }
+
+    fn name(&self) -> &'static str {
+        "local-first-touch"
+    }
+}
+
+/// The all-remote floor: first touches are deliberately homed on a module
+/// *other than* the toucher's, and pages never move, so essentially every
+/// reference is a remote reference (Figure 1's "remote" curve — the cost
+/// of ignoring locality altogether).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RemoteAlways;
+
+impl PlacementPolicy for RemoteAlways {
+    fn decide(&self, _info: &FaultInfo) -> FaultAction {
+        FaultAction::RemoteMap { freeze: false }
+    }
+
+    fn place_first_touch(&self, faulter: usize, vpn: u64, nodes: usize) -> usize {
+        if nodes <= 1 {
+            return faulter;
+        }
+        // Spread over every module except the faulter's own.
+        (faulter + 1 + (vpn as usize % (nodes - 1))) % nodes
+    }
+
+    fn name(&self) -> &'static str {
+        "remote-always"
+    }
+}
+
 /// Static placement: never replicate or migrate; always map the existing
 /// copy remotely. First touch decides where a page lives.
 ///
-/// This is the behaviour a Uniform System program gets from scattered
-/// static data placement, and is the Figure 1 baseline.
+/// The historical spelling of [`LocalFirstTouch`], kept for the existing
+/// harnesses and figures.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NeverReplicate;
 
-impl ReplicationPolicy for NeverReplicate {
+impl PlacementPolicy for NeverReplicate {
     fn decide(&self, _info: &FaultInfo) -> FaultAction {
         FaultAction::RemoteMap { freeze: false }
     }
@@ -153,7 +254,7 @@ impl ReplicationPolicy for NeverReplicate {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AlwaysReplicate;
 
-impl ReplicationPolicy for AlwaysReplicate {
+impl PlacementPolicy for AlwaysReplicate {
     fn decide(&self, _info: &FaultInfo) -> FaultAction {
         FaultAction::Replicate
     }
@@ -178,7 +279,7 @@ impl Default for AceStyle {
     }
 }
 
-impl ReplicationPolicy for AceStyle {
+impl PlacementPolicy for AceStyle {
     fn decide(&self, info: &FaultInfo) -> FaultAction {
         if info.write || info.state == CpState::Modified {
             // A writable page: migrate a bounded number of times, then
@@ -198,16 +299,24 @@ impl ReplicationPolicy for AceStyle {
     }
 }
 
-/// Which replication policy to boot the kernel with: a nameable,
+/// Which placement policy to boot the kernel with: a nameable,
 /// `Copy`-able selector over the policy family, used by the harnesses,
-/// the benchmark binaries, and `SimBuilder`.
+/// the benchmark binaries, `KernelConfig`, and `SimBuilder`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PolicyKind {
     /// The paper's interim policy (t1 = 10 ms, defrost-only thawing).
     Platinum,
     /// The §4.2 alternative: accesses may thaw expired frozen pages.
     PlatinumThawOnAccess,
-    /// Static placement (the Uniform System / Figure 1 baseline).
+    /// Single-copy migration, reads included (Figure 1 baseline).
+    MigrateOnly,
+    /// Read replication without migration (Figure 1 baseline).
+    ReplicateOnly,
+    /// Static placement on the first toucher's module (Figure 1 "local").
+    LocalFirstTouch,
+    /// Deliberately off-node placement, no movement (Figure 1 "remote").
+    RemoteAlways,
+    /// Static placement (the historical Uniform System baseline name).
     NeverReplicate,
     /// Replicate/migrate unconditionally (software-caching baseline).
     AlwaysReplicate,
@@ -216,14 +325,29 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
+    /// The five-policy Figure 1 comparison set, in the order the paper
+    /// plots them: the coherent policy, its two mechanisms in isolation,
+    /// then the two static placements.
+    pub const FIG1_SET: [PolicyKind; 5] = [
+        PolicyKind::Platinum,
+        PolicyKind::MigrateOnly,
+        PolicyKind::ReplicateOnly,
+        PolicyKind::LocalFirstTouch,
+        PolicyKind::RemoteAlways,
+    ];
+
     /// Instantiates the policy.
-    pub fn build(self) -> Box<dyn ReplicationPolicy> {
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
         match self {
             PolicyKind::Platinum => Box::new(PlatinumPolicy::paper_default()),
             PolicyKind::PlatinumThawOnAccess => Box::new(PlatinumPolicy {
                 t1_ns: 10_000_000,
                 thaw_on_access: true,
             }),
+            PolicyKind::MigrateOnly => Box::new(MigrateOnly),
+            PolicyKind::ReplicateOnly => Box::new(ReplicateOnly),
+            PolicyKind::LocalFirstTouch => Box::new(LocalFirstTouch),
+            PolicyKind::RemoteAlways => Box::new(RemoteAlways),
             PolicyKind::NeverReplicate => Box::new(NeverReplicate),
             PolicyKind::AlwaysReplicate => Box::new(AlwaysReplicate),
             PolicyKind::AceStyle => Box::new(AceStyle::default()),
@@ -235,9 +359,33 @@ impl PolicyKind {
         match self {
             PolicyKind::Platinum => "PLATINUM",
             PolicyKind::PlatinumThawOnAccess => "PLATINUM (thaw-on-access)",
+            PolicyKind::MigrateOnly => "migrate-only",
+            PolicyKind::ReplicateOnly => "replicate-only",
+            PolicyKind::LocalFirstTouch => "local-first-touch",
+            PolicyKind::RemoteAlways => "remote-always",
             PolicyKind::NeverReplicate => "static placement",
             PolicyKind::AlwaysReplicate => "always-replicate",
             PolicyKind::AceStyle => "ACE-style",
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    /// Parses the kebab-case selector used by the benchmark binaries.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "platinum" => Ok(PolicyKind::Platinum),
+            "platinum-thaw" | "thaw-on-access" => Ok(PolicyKind::PlatinumThawOnAccess),
+            "migrate-only" => Ok(PolicyKind::MigrateOnly),
+            "replicate-only" => Ok(PolicyKind::ReplicateOnly),
+            "local-first-touch" | "local" => Ok(PolicyKind::LocalFirstTouch),
+            "remote-always" | "remote" => Ok(PolicyKind::RemoteAlways),
+            "never-replicate" => Ok(PolicyKind::NeverReplicate),
+            "always-replicate" => Ok(PolicyKind::AlwaysReplicate),
+            "ace-style" | "ace" => Ok(PolicyKind::AceStyle),
+            other => Err(format!("unknown policy kind: {other}")),
         }
     }
 }
@@ -323,6 +471,55 @@ mod tests {
     }
 
     #[test]
+    fn migrate_only_always_migrates() {
+        let p = MigrateOnly;
+        assert_eq!(p.decide(&info(0, None, false)), FaultAction::Migrate);
+        let mut i = info(50_000_000, Some(49_000_000), true);
+        i.write = true;
+        // Even frozen, recently-invalidated pages migrate (and thaw).
+        assert_eq!(p.decide(&i), FaultAction::Migrate);
+        // First touches stay local.
+        assert_eq!(p.place_first_touch(3, 17, 8), 3);
+    }
+
+    #[test]
+    fn replicate_only_never_moves_for_writes() {
+        let p = ReplicateOnly;
+        assert_eq!(p.decide(&info(0, None, false)), FaultAction::Replicate);
+        let mut i = info(0, None, false);
+        i.write = true;
+        assert_eq!(p.decide(&i), FaultAction::RemoteMap { freeze: false });
+    }
+
+    #[test]
+    fn local_first_touch_is_static() {
+        let p = LocalFirstTouch;
+        let mut i = info(0, None, false);
+        assert_eq!(p.decide(&i), FaultAction::RemoteMap { freeze: false });
+        i.write = true;
+        assert_eq!(p.decide(&i), FaultAction::RemoteMap { freeze: false });
+        assert_eq!(p.place_first_touch(5, 99, 8), 5);
+    }
+
+    #[test]
+    fn remote_always_places_off_node() {
+        let p = RemoteAlways;
+        for faulter in 0..8 {
+            for vpn in 0..64u64 {
+                let home = p.place_first_touch(faulter, vpn, 8);
+                assert_ne!(home, faulter, "vpn {vpn} landed on the faulter");
+                assert!(home < 8);
+            }
+        }
+        // Uniprocessor degenerate case: nowhere else to go.
+        assert_eq!(p.place_first_touch(0, 7, 1), 0);
+        assert_eq!(
+            p.decide(&info(0, None, false)),
+            FaultAction::RemoteMap { freeze: false }
+        );
+    }
+
+    #[test]
     fn ace_bounds_migrations() {
         let p = AceStyle { max_migrations: 2 };
         let mut i = info(0, None, false);
@@ -336,5 +533,33 @@ mod tests {
         i.state = CpState::Present1;
         i.migrations = 100;
         assert_eq!(p.decide(&i), FaultAction::Replicate);
+    }
+
+    #[test]
+    fn kind_round_trips_through_parse() {
+        for kind in [
+            PolicyKind::Platinum,
+            PolicyKind::MigrateOnly,
+            PolicyKind::ReplicateOnly,
+            PolicyKind::LocalFirstTouch,
+            PolicyKind::RemoteAlways,
+            PolicyKind::NeverReplicate,
+            PolicyKind::AlwaysReplicate,
+        ] {
+            let spelled = kind.build().name().to_string();
+            let parsed: PolicyKind = spelled.parse().expect("kebab name parses");
+            // Parsing the built policy's name lands on an equivalent kind
+            // (NeverReplicate and LocalFirstTouch share behaviour but keep
+            // distinct spellings).
+            assert_eq!(parsed.build().name(), kind.build().name());
+        }
+        assert!("no-such-policy".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn fig1_set_is_five_distinct_policies() {
+        let names: std::collections::BTreeSet<&str> =
+            PolicyKind::FIG1_SET.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 5);
     }
 }

@@ -12,7 +12,7 @@ use platinum_trace::{EventKind, Tracer};
 
 use crate::coherent::cpage::{Cpage, CpageInner, CpageTable};
 use crate::coherent::defrost::DefrostState;
-use crate::coherent::policy::{PlatinumPolicy, ReplicationPolicy};
+use crate::coherent::policy::{PlacementPolicy, PlatinumPolicy, PolicyKind};
 use crate::coherent::reclaim::ReclaimState;
 use crate::costs::KernelCosts;
 use crate::error::{KernelError, Result};
@@ -51,6 +51,12 @@ pub struct KernelConfig {
     /// power of two). Purely a host-side concurrency knob: protocol
     /// behaviour is identical at any shard count.
     pub cmap_shards: usize,
+    /// Which placement policy [`Kernel::from_config`] boots with. The
+    /// explicit-`Box` constructors ([`Kernel::with_policy`],
+    /// [`Kernel::with_config`]) override this selector and leave it
+    /// untouched, so it records the *configured* kind, not necessarily
+    /// the installed object.
+    pub policy: PolicyKind,
     /// Deterministic fault-injection plan, if any. With `None` (the
     /// default) every injection hook is a single pointer test and the
     /// kernel behaves bit-identically to a build without the subsystem.
@@ -64,6 +70,7 @@ impl Default for KernelConfig {
             t2_defrost_ns: 1_000_000_000,
             shootdown: ShootdownMode::PerProcessorPmap,
             cmap_shards: crate::coherent::cmap::DEFAULT_SHARDS,
+            policy: PolicyKind::Platinum,
             faults: None,
         }
     }
@@ -95,7 +102,7 @@ pub(crate) struct ProcSlot {
 pub struct Kernel {
     machine: Arc<Machine>,
     cfg: KernelConfig,
-    policy: Box<dyn ReplicationPolicy>,
+    policy: Box<dyn PlacementPolicy>,
     pub(crate) cpages: CpageTable,
     objects: RwLock<Vec<Arc<MemoryObject>>>,
     spaces: RwLock<Vec<Arc<AddressSpace>>>,
@@ -114,15 +121,23 @@ impl Kernel {
         Self::with_policy(machine, Box::new(PlatinumPolicy::paper_default()))
     }
 
-    /// Boots a kernel with a specific replication policy.
-    pub fn with_policy(machine: Arc<Machine>, policy: Box<dyn ReplicationPolicy>) -> Arc<Self> {
+    /// Boots a kernel with a specific placement policy.
+    pub fn with_policy(machine: Arc<Machine>, policy: Box<dyn PlacementPolicy>) -> Arc<Self> {
         Self::with_config(machine, policy, KernelConfig::default())
     }
 
-    /// Boots a kernel with full control of policy and configuration.
+    /// Boots a kernel entirely from a [`KernelConfig`], instantiating the
+    /// policy named by [`KernelConfig::policy`].
+    pub fn from_config(machine: Arc<Machine>, cfg: KernelConfig) -> Arc<Self> {
+        let policy = cfg.policy.build();
+        Self::with_config(machine, policy, cfg)
+    }
+
+    /// Boots a kernel with full control of policy and configuration. The
+    /// explicit policy object wins over [`KernelConfig::policy`].
     pub fn with_config(
         machine: Arc<Machine>,
-        policy: Box<dyn ReplicationPolicy>,
+        policy: Box<dyn PlacementPolicy>,
         cfg: KernelConfig,
     ) -> Arc<Self> {
         let slots = (0..machine.nprocs())
@@ -160,8 +175,8 @@ impl Kernel {
         &self.cfg
     }
 
-    /// The active replication policy.
-    pub fn policy(&self) -> &dyn ReplicationPolicy {
+    /// The active placement policy.
+    pub fn policy(&self) -> &dyn PlacementPolicy {
         self.policy.as_ref()
     }
 

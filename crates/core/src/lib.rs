@@ -65,7 +65,8 @@ mod user;
 pub use coherent::cpage::{CpState, Cpage, CpageInner};
 pub use coherent::policy::PolicyKind;
 pub use coherent::policy::{
-    AceStyle, AlwaysReplicate, FaultAction, FaultInfo, NeverReplicate, PlatinumPolicy,
+    AceStyle, AlwaysReplicate, FaultAction, FaultInfo, LocalFirstTouch, MigrateOnly,
+    NeverReplicate, PlacementPolicy, PlatinumPolicy, RemoteAlways, ReplicateOnly,
     ReplicationPolicy,
 };
 pub use costs::KernelCosts;

@@ -243,6 +243,17 @@ impl UserCtx {
         }
     }
 
+    /// Services the IPI doorbell — and nothing else: no access-counter
+    /// tick, no throttling, no defrost opportunity. External spin loops
+    /// that must stay responsive to shootdowns *without* perturbing the
+    /// kernel-entry schedule (the reference-trace recorder's gate, the
+    /// replay engine's turn wait) call this instead of touching memory.
+    pub fn service_ipis(&mut self) {
+        if self.core.take_ipi() {
+            self.drain_messages();
+        }
+    }
+
     /// Kernel entry bookkeeping performed on every access: service the
     /// IPI doorbell, keep the virtual clock published, respect the skew
     /// window, and run the defrost daemon when its period elapses.

@@ -1,0 +1,312 @@
+//! The recorder: run an application once and write its reference stream
+//! down.
+//!
+//! [`Capture`] boots a PLATINUM simulation whose memory interface is
+//! wrapped by [`RecordingCtx`]: every [`Mem`] call first wins the global
+//! FIFO [`Gate`](crate::gate::Gate), then executes against the real
+//! kernel, then appends one [`Rec`] to the phase's totally ordered op
+//! list. Serialization makes the recorded order *the* execution order, so
+//! replaying the list op by op reproduces the run exactly (see the crate
+//! docs for the argument).
+//!
+//! While a worker waits for the gate it services incoming shootdown IPIs
+//! ([`platinum::UserCtx::service_ipis`]) and nothing else — the gate
+//! holder may be blocked on that worker's ack, but any other kernel
+//! activity (clock ticks, defrost) would perturb the schedule being
+//! recorded.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use numa_machine::{MachineConfig, Mem, Va};
+use parking_lot::Mutex;
+use platinum::{Kernel, PolicyKind, StatsSnapshot, UserCtx};
+use platinum_runtime::measure::{RunStats, WorkerStats};
+use platinum_runtime::sim::{Sim, SimBuilder};
+use platinum_runtime::zones::Zone;
+
+use crate::format::{Op, Phase, Rec, RefTrace};
+use crate::gate::Gate;
+
+/// The release-time map is bounded: one entry per recorded op would grow
+/// without limit on long runs, and only *recent* post-times ever match an
+/// `advance_to` target (synchronization edges are short). On overflow the
+/// map is cleared; affected edges fall back to [`Op::AdvanceAbs`].
+const VTIME_MAP_CAP: usize = 1 << 22;
+
+/// Per-phase recording state shared by all workers.
+#[derive(Default)]
+struct PhaseState {
+    gate: Gate,
+    ops: Mutex<Vec<Rec>>,
+    /// post-vtime → global sequence number of the op that produced it
+    /// (last writer wins), consulted by `advance_to` to emit release
+    /// edges as dependencies.
+    vtime_seqs: Mutex<HashMap<u64, u64>>,
+}
+
+impl PhaseState {
+    /// Appends an op and indexes its post-execution virtual time. Must be
+    /// called while holding the gate.
+    fn push(&self, proc: u8, op: Op, post_vtime: u64) {
+        let seq = {
+            let mut ops = self.ops.lock();
+            ops.push(Rec { proc, op });
+            (ops.len() - 1) as u64
+        };
+        let mut map = self.vtime_seqs.lock();
+        if map.len() >= VTIME_MAP_CAP {
+            map.clear();
+        }
+        map.insert(post_vtime, seq);
+    }
+}
+
+/// A recording session: a booted PLATINUM simulation plus the trace being
+/// accumulated. Allocate zones, run phases (each phase's closure receives
+/// a [`RecordingCtx`] in place of a [`UserCtx`]), then [`Capture::finish`]
+/// to obtain the [`RefTrace`].
+///
+/// The capture run doubles as the *live* PLATINUM measurement: phase
+/// results carry real [`RunStats`], and a same-policy replay of the
+/// finished trace must reproduce them bit for bit.
+pub struct Capture {
+    sim: Sim,
+    zones: Vec<u64>,
+    phases: Vec<Phase>,
+}
+
+impl Capture {
+    /// Boots a `nodes`-node capture machine: PLATINUM policy, 4096 frames
+    /// per node, virtual-clock skew window disabled (serialized execution
+    /// needs no throttle, and replay uses the same setting).
+    pub fn new(nodes: usize) -> Self {
+        let mut mc = MachineConfig::with_nodes(nodes);
+        mc.frames_per_node = 4096;
+        mc.skew_window_ns = None;
+        let sim = SimBuilder::nodes(nodes)
+            .machine_config(mc)
+            .policy_kind(PolicyKind::Platinum)
+            .build();
+        Self {
+            sim,
+            zones: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// The underlying simulation (for unrecorded work such as checksum
+    /// verification — run it *after* snapshotting any statistics).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The capture kernel.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.sim.kernel
+    }
+
+    /// Snapshot of the capture kernel's protocol counters (freezes,
+    /// replications, ...). Take it before any unrecorded verification
+    /// work if the numbers are to be compared against a replay.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.sim.kernel.stats().snapshot()
+    }
+
+    /// Allocates a page-aligned zone and records its size so replay can
+    /// reproduce the virtual-address layout. Zone allocation is pure
+    /// bookkeeping (frames are faulted in lazily), so the call sequence —
+    /// not its interleaving with phases — is what matters.
+    pub fn alloc_zone(&mut self, pages: usize) -> Zone {
+        self.zones.push(pages as u64);
+        self.sim.alloc_zone(pages)
+    }
+
+    /// Runs `f(worker_index, ctx)` on processors `0..n`, recording every
+    /// memory operation, and appends the resulting op list as a phase.
+    /// Returns the workers' results and their *live* run statistics.
+    pub fn run_phase<F, R>(&mut self, label: &str, n: usize, f: F) -> (Vec<R>, RunStats)
+    where
+        F: Fn(usize, &mut RecordingCtx) -> R + Sync,
+        R: Send,
+    {
+        let st = PhaseState::default();
+        let kernel = &self.sim.kernel;
+        let space = &self.sim.space;
+        let mut out: Vec<Option<(R, WorkerStats)>> = Vec::new();
+        out.resize_with(n, || None);
+        std::thread::scope(|s| {
+            let st = &st;
+            let f = &f;
+            for (p, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || {
+                    let ctx = {
+                        let _g = st.gate.lock(|| {});
+                        let ctx = kernel
+                            .attach(Arc::clone(space), p, 0)
+                            .expect("recording worker claims a free processor");
+                        st.push(p as u8, Op::Attach, ctx.vtime());
+                        ctx
+                    };
+                    let mut rctx = RecordingCtx { ctx, st };
+                    let r = f(p, &mut rctx);
+                    let RecordingCtx { ctx: mut ctx2, .. } = rctx;
+                    let stats = {
+                        let _g = st.gate.lock(|| ctx2.service_ipis());
+                        let stats = WorkerStats {
+                            proc: p,
+                            vtime_ns: ctx2.vtime(),
+                            counters: ctx2.counters(),
+                        };
+                        st.push(p as u8, Op::Detach, ctx2.vtime());
+                        drop(ctx2);
+                        stats
+                    };
+                    *slot = Some((r, stats));
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for slot in out {
+            let (r, w) = slot.expect("recording worker completed");
+            results.push(r);
+            workers.push(w);
+        }
+        self.phases.push(Phase {
+            label: label.to_string(),
+            workers: n,
+            final_vtimes: workers.iter().map(|w| w.vtime_ns).collect(),
+            ops: st.ops.into_inner(),
+        });
+        (results, RunStats { workers })
+    }
+
+    /// Seals the recording into a self-contained [`RefTrace`].
+    pub fn finish(self) -> RefTrace {
+        let cfg = self.sim.machine.cfg();
+        RefTrace {
+            nodes: cfg.nodes,
+            frames_per_node: cfg.frames_per_node,
+            page_shift: cfg.page_shift,
+            zones: self.zones,
+            phases: self.phases,
+        }
+    }
+}
+
+/// A [`UserCtx`] wrapped for recording: implements [`Mem`] by winning the
+/// phase's global gate, executing the real operation, and appending it to
+/// the op list. Application code written against `Mem` (including the
+/// runtime's locks, barriers and event counts) records itself unchanged.
+pub struct RecordingCtx<'a> {
+    ctx: UserCtx,
+    st: &'a PhaseState,
+}
+
+impl RecordingCtx<'_> {
+    /// The wrapped kernel context (read-only; going around the recorder
+    /// for mutation would leave holes in the trace).
+    pub fn inner(&self) -> &UserCtx {
+        &self.ctx
+    }
+
+    /// Gate → execute → record. The split borrow (gate on `st`, executor
+    /// on `ctx`) lets waiting service IPIs targeted at this processor.
+    fn op<R>(&mut self, op: Op, exec: impl FnOnce(&mut UserCtx) -> R) -> R {
+        let st = self.st;
+        let ctx = &mut self.ctx;
+        let _g = st.gate.lock(|| ctx.service_ipis());
+        let r = exec(ctx);
+        st.push(ctx.proc_id() as u8, op, ctx.vtime());
+        r
+    }
+}
+
+impl Mem for RecordingCtx<'_> {
+    fn proc_id(&self) -> usize {
+        self.ctx.proc_id()
+    }
+
+    fn nprocs(&self) -> usize {
+        self.ctx.nprocs()
+    }
+
+    fn vtime(&self) -> u64 {
+        self.ctx.vtime()
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        let st = self.st;
+        let ctx = &mut self.ctx;
+        let _g = st.gate.lock(|| ctx.service_ipis());
+        // Release edge: if some recorded op produced exactly this time
+        // (a lock release, an event-count advance), record the dependency
+        // so replay under another policy propagates *that policy's* time.
+        let dep = st.vtime_seqs.lock().get(&t).copied();
+        let op = match dep {
+            Some(seq) => Op::AdvanceDep { seq },
+            None => Op::AdvanceAbs { t },
+        };
+        ctx.advance_to(t);
+        st.push(ctx.proc_id() as u8, op, ctx.vtime());
+    }
+
+    fn set_vtime(&mut self, t: u64) {
+        self.op(Op::SetVtime { t }, |c| c.set_vtime(t));
+    }
+
+    fn compute(&mut self, ns: u64) {
+        self.op(Op::Compute { ns }, |c| c.compute(ns));
+    }
+
+    fn read(&mut self, va: Va) -> u32 {
+        self.op(Op::Read { va }, |c| c.read(va))
+    }
+
+    fn write(&mut self, va: Va, val: u32) {
+        self.op(Op::Write { va }, |c| c.write(va, val));
+    }
+
+    fn read_spin(&mut self, va: Va) -> u32 {
+        self.op(Op::ReadSpin { va }, |c| c.read_spin(va))
+    }
+
+    fn fetch_add(&mut self, va: Va, delta: u32) -> u32 {
+        self.op(Op::Atomic { va }, |c| c.fetch_add(va, delta))
+    }
+
+    fn compare_exchange(&mut self, va: Va, current: u32, new: u32) -> Result<u32, u32> {
+        self.op(Op::Atomic { va }, |c| c.compare_exchange(va, current, new))
+    }
+
+    fn swap(&mut self, va: Va, val: u32) -> u32 {
+        self.op(Op::Atomic { va }, |c| c.swap(va, val))
+    }
+
+    fn poll(&mut self) {
+        self.op(Op::Poll, |c| c.poll());
+    }
+
+    fn begin_wait(&mut self) {
+        self.op(Op::BeginWait, |c| c.begin_wait());
+    }
+
+    fn end_wait(&mut self) {
+        self.op(Op::EndWait, |c| c.end_wait());
+    }
+
+    fn trace_lock(&mut self, va: Va, acquire: bool) {
+        self.op(Op::TraceLock { va, acquire }, |c| c.trace_lock(va, acquire));
+    }
+
+    fn read_block(&mut self, va: Va, dst: &mut [u32]) {
+        let words = dst.len() as u64;
+        self.op(Op::ReadBlock { va, words }, |c| c.read_block(va, dst));
+    }
+
+    fn write_block(&mut self, va: Va, src: &[u32]) {
+        let words = src.len() as u64;
+        self.op(Op::WriteBlock { va, words }, |c| c.write_block(va, src));
+    }
+}

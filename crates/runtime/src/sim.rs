@@ -25,8 +25,8 @@ use std::sync::Arc;
 use numa_machine::{Machine, MachineConfig};
 use platinum::trace::{TraceConfig, Tracer};
 use platinum::{
-    AddressSpace, FaultPlan, Kernel, KernelConfig, PlatinumPolicy, PolicyKind, ReplicationPolicy,
-    Rights, ShootdownMode, UserCtx,
+    AddressSpace, FaultPlan, Kernel, KernelConfig, PolicyKind, ReplicationPolicy, Rights,
+    ShootdownMode, UserCtx,
 };
 
 use crate::measure::RunStats;
@@ -75,12 +75,23 @@ impl SimBuilder {
         self
     }
 
-    /// Selects a replication policy by name.
-    pub fn policy(self, kind: PolicyKind) -> Self {
-        self.policy_box(kind.build())
+    /// Selects a placement policy by kind. The selector is also recorded
+    /// in the kernel configuration, so `sim.kernel.config().policy`
+    /// reports what the simulation was booted with.
+    pub fn policy_kind(mut self, kind: PolicyKind) -> Self {
+        self.kernel.policy = kind;
+        self.policy = None;
+        self
     }
 
-    /// Installs a custom replication policy object.
+    /// Selects a placement policy by kind (alias of
+    /// [`SimBuilder::policy_kind`], kept for existing call sites).
+    pub fn policy(self, kind: PolicyKind) -> Self {
+        self.policy_kind(kind)
+    }
+
+    /// Installs a custom placement policy object (overrides
+    /// [`SimBuilder::policy_kind`]).
     pub fn policy_box(mut self, policy: Box<dyn ReplicationPolicy>) -> Self {
         self.policy = Some(policy);
         self
@@ -147,10 +158,10 @@ impl SimBuilder {
             c
         });
         let machine = Machine::new(mcfg).expect("valid machine config");
-        let policy = self
-            .policy
-            .unwrap_or_else(|| Box::new(PlatinumPolicy::paper_default()));
-        let kernel = Kernel::with_config(Arc::clone(&machine), policy, self.kernel);
+        let kernel = match self.policy {
+            Some(policy) => Kernel::with_config(Arc::clone(&machine), policy, self.kernel),
+            None => Kernel::from_config(Arc::clone(&machine), self.kernel),
+        };
         let trace_path = self.trace.map(|(path, tcfg)| {
             kernel.install_tracer(Tracer::new(tcfg));
             path
@@ -286,6 +297,31 @@ mod tests {
         assert_eq!(written, Some(path.as_path()));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("traceEvents"));
+    }
+
+    #[test]
+    fn builder_default_defrost_matches_paper() {
+        // §4.2: the defrost daemon period t2 is 1 second. The builder
+        // must boot with exactly that unless overridden.
+        let sim = SimBuilder::nodes(2).build();
+        assert_eq!(sim.kernel.config().t2_defrost_ns, 1_000_000_000);
+        let sim = SimBuilder::nodes(2).defrost_ns(5_000_000).build();
+        assert_eq!(sim.kernel.config().t2_defrost_ns, 5_000_000);
+    }
+
+    #[test]
+    fn policy_kind_selects_and_records() {
+        for kind in PolicyKind::FIG1_SET {
+            let sim = SimBuilder::nodes(2).policy_kind(kind).build();
+            assert_eq!(sim.kernel.config().policy, kind);
+            assert_eq!(sim.kernel.policy().name(), kind.build().name());
+        }
+        // An explicit policy object wins over the recorded kind.
+        let sim = SimBuilder::nodes(2)
+            .policy_kind(PolicyKind::RemoteAlways)
+            .policy_box(Box::new(platinum::PlatinumPolicy::paper_default()))
+            .build();
+        assert_eq!(sim.kernel.policy().name(), "platinum");
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Workspace-root alias for the policy matrix, so
+//! `cargo run --release --bin policy_matrix` works without `-p`; see
+//! `platinum_bench::policy_matrix`.
+
+fn main() {
+    platinum_bench::policy_matrix::run()
+}
