@@ -14,8 +14,16 @@
 //! fault→recovery span whose begin time precedes its end time.
 //!
 //! Usage:
-//!   chaos_soak [--seeds 8] [--nodes 4] [--procs N] [--ppm 25000]
-//!              [--timeout-secs 120]
+//!   chaos_soak [--workload apps|kv] [--seeds 8] [--nodes 4] [--procs N]
+//!              [--ppm 25000] [--timeout-secs 120]
+//!
+//! `--workload apps` (default) soaks the three scientific applications.
+//! `--workload kv` soaks the server tier's key-value store instead: a
+//! fault-free run fixes the reference table audit, then every seed's
+//! chaos run must reproduce that audit exactly — the table sweep both
+//! asserts no slot is torn (a half-applied update breaks the value's
+//! arithmetic progression) and checksums the contents, so a lost or
+//! duplicated update diverges.
 //!
 //! Exits nonzero on a correctness failure, a hang, or a soak that
 //! injected nothing (which would make the "survived chaos" claim vacuous).
@@ -24,6 +32,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
+use numa_machine::MachineConfig;
 use platinum::trace::{EventKind, TraceConfig, TraceEvent};
 use platinum::{FaultPlan, FaultSite, StatsSnapshot};
 use platinum_apps::gauss::{self, GaussConfig};
@@ -31,6 +40,8 @@ use platinum_apps::harness::{run_gauss_chaos, run_mergesort_chaos, run_neural_ch
 use platinum_apps::mergesort::SortConfig;
 use platinum_apps::neural::NeuralConfig;
 use platinum_bench::Args;
+use platinum_runtime::sim::SimBuilder;
+use platinum_server::{run_open_loop, KvAudit, KvConfig, KvTable, TrafficConfig};
 
 /// Runs `f` on a watchdog thread; exits the process if it does not
 /// finish within `timeout`. Liveness is part of the contract: every
@@ -60,28 +71,124 @@ fn injected(s: &StatsSnapshot) -> u64 {
     s.mem_errors + s.shootdown_timeouts + s.transfer_faults + s.alloc_faults
 }
 
-fn main() {
-    let args = Args::parse();
-    let seeds = args.get_or("--seeds", 8u64);
-    let nodes = args.get_or("--nodes", 4usize);
-    let procs = args.get_or("--procs", nodes);
-    let ppm = args.get_or("--ppm", 25_000u32);
-    let timeout = Duration::from_secs(args.get_or("--timeout-secs", 120u64));
+/// One live open-loop KV run, optionally under a fault plan: boots a
+/// fresh simulation, lays the table out, drives the full schedule
+/// through the serialized driver (which retries requests whose fallible
+/// accesses surface injected-fault residue), and sweeps the quiesced
+/// table. The sweep is the correctness oracle: it asserts no slot is
+/// torn and folds a checksum that any lost or duplicated update
+/// diverges. Serialized driving keeps the final state a pure function
+/// of the request stream, so the faulted audit must equal the
+/// fault-free one bit for bit.
+fn kv_soak_run(
+    nodes: usize,
+    procs: usize,
+    traffic: &TrafficConfig,
+    plan: Option<Arc<FaultPlan>>,
+) -> (KvAudit, StatsSnapshot, u64) {
+    let mut mcfg = MachineConfig::with_nodes(nodes);
+    mcfg.skew_window_ns = None;
+    let mut b = SimBuilder::nodes(nodes).machine_config(mcfg);
+    if let Some(plan) = plan {
+        b = b.faults(plan);
+    }
+    let sim = b.build();
+    let kcfg = KvConfig::for_keys(traffic.keys, 8);
+    let page_words = sim.machine.cfg().words_per_page();
+    let mut data = sim.alloc_zone(kcfg.table_pages(page_words));
+    let mut locks = sim.alloc_zone(kcfg.lock_pages());
+    let kv = KvTable::layout(kcfg, &mut data, &mut locks);
+    let schedule = traffic.schedule(procs);
+    let report = run_open_loop(&sim, &kv, procs, &schedule);
+    let audit = sim
+        .spawn(0, |ctx| {
+            let mut attempts = 0u32;
+            loop {
+                match kv.verify(ctx) {
+                    Ok(a) => return a,
+                    Err(e) => {
+                        attempts += 1;
+                        assert!(attempts < 64, "audit sweep unrecoverable: {e}");
+                    }
+                }
+            }
+        })
+        .expect("processor 0 free after the driver");
+    (audit, sim.kernel.stats().snapshot(), report.retries)
+}
 
-    // Install the process-global tracer before any machine boots so every
-    // seed's kernel records into it; the span check at the end sees the
-    // whole soak.
-    let tracer = platinum::trace::install_global(TraceConfig::default());
+/// The KV soak: a fault-free reference run fixes the expected audit,
+/// then every seed replays the identical request stream under its own
+/// chaos plan and must reproduce it. Returns
+/// `(injected, recovery spans, failures)` for the shared trace check.
+fn soak_kv(
+    seeds: u64,
+    nodes: usize,
+    procs: usize,
+    ppm: u32,
+    timeout: Duration,
+    traffic: &TrafficConfig,
+) -> (u64, u64, usize) {
+    let reference = {
+        let traffic = traffic.clone();
+        with_watchdog("kv (fault-free reference)", timeout, move || {
+            kv_soak_run(nodes, procs, &traffic, None)
+        })
+        .0
+    };
+    assert_eq!(
+        reference.occupied, traffic.keys,
+        "reference run lost keys — the workload itself is broken"
+    );
+    println!(
+        "kv reference: {} keys, checksum {:#018x}\n",
+        reference.occupied, reference.checksum
+    );
 
+    let mut total_injected = 0u64;
+    let mut total_recovered = 0u64;
+    let mut failures = 0usize;
+    for seed in 0..seeds {
+        let plan = Arc::new(FaultPlan::chaos(seed, ppm));
+        let (audit, stats, retries) = {
+            let (traffic, plan) = (traffic.clone(), Arc::clone(&plan));
+            with_watchdog(&format!("kv (seed {seed})"), timeout, move || {
+                kv_soak_run(nodes, procs, &traffic, Some(plan))
+            })
+        };
+        let ok = audit.occupied == reference.occupied && audit.checksum == reference.checksum;
+        if !ok {
+            eprintln!(
+                "CORRECTNESS FAILURE: kv seed {seed}: audit {}/{:#018x} != \
+                 reference {}/{:#018x} (lost, duplicated, or torn update)",
+                audit.occupied, audit.checksum, reference.occupied, reference.checksum
+            );
+            failures += 1;
+        }
+        let ki = injected(&stats);
+        total_injected += ki;
+        total_recovered += stats.fault_recoveries;
+        println!(
+            "seed {seed:>3}: kv {} ({ki} faults, {retries} request retries)",
+            if ok { "ok" } else { "FAIL" },
+        );
+    }
+    (total_injected, total_recovered, failures)
+}
+
+/// The original application soak: gauss, mergesort, and the neural net
+/// under every seed's plan.
+fn soak_apps(
+    seeds: u64,
+    nodes: usize,
+    procs: usize,
+    ppm: u32,
+    timeout: Duration,
+) -> (u64, u64, usize) {
     let gauss_cfg = GaussConfig::with_n(48);
     let gauss_ref = gauss::reference_checksum(&gauss_cfg);
     let sort_cfg = SortConfig::with_n(1 << 12);
     let neural_cfg = NeuralConfig::with_epochs(4);
-
-    println!(
-        "chaos soak: {seeds} seeds, {nodes} nodes, {procs} procs, {ppm} ppm per site, \
-         watchdog {timeout:?}\n"
-    );
 
     let mut total_injected = 0u64;
     let mut total_recovered = 0u64;
@@ -139,6 +246,46 @@ fn main() {
             if gauss_ok { "ok" } else { "FAIL" },
         );
     }
+    (total_injected, total_recovered, failures)
+}
+
+fn main() {
+    let args = Args::parse();
+    let workload = args
+        .get::<String>("--workload")
+        .unwrap_or_else(|| "apps".to_string());
+    let seeds = args.get_or("--seeds", 8u64);
+    let nodes = args.get_or("--nodes", 4usize);
+    let procs = args.get_or("--procs", nodes);
+    let ppm = args.get_or("--ppm", 25_000u32);
+    let timeout = Duration::from_secs(args.get_or("--timeout-secs", 120u64));
+
+    // Install the process-global tracer before any machine boots so every
+    // seed's kernel records into it; the span check at the end sees the
+    // whole soak.
+    let tracer = platinum::trace::install_global(TraceConfig::default());
+
+    println!(
+        "chaos soak ({workload}): {seeds} seeds, {nodes} nodes, {procs} procs, \
+         {ppm} ppm per site, watchdog {timeout:?}\n"
+    );
+
+    let (total_injected, total_recovered, mut failures) = match workload.as_str() {
+        "apps" => soak_apps(seeds, nodes, procs, ppm, timeout),
+        "kv" => {
+            // Small enough that every seed finishes in seconds on one
+            // host core, big enough that each run takes thousands of
+            // lock-protected multi-word updates through the fault sites.
+            let traffic = TrafficConfig {
+                keys: args.get_or("--kv-keys", 1u64 << 10),
+                requests_per_proc: args.get_or("--kv-requests", 1024usize),
+                mean_interarrival_ns: args.get_or("--kv-gap-ns", 10_000u64),
+                ..TrafficConfig::default()
+            };
+            soak_kv(seeds, nodes, procs, ppm, timeout, &traffic)
+        }
+        other => panic!("unknown workload {other:?} (expected apps or kv)"),
+    };
 
     println!("\ninjected faults: {total_injected}, recovery spans: {total_recovered}");
     if total_injected == 0 {

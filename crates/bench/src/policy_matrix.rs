@@ -16,17 +16,25 @@
 //!
 //! Flags: `--nodes N` (4), `--procs P` (4), `--n N` (gauss matrix, 96),
 //! `--sort-n N` (2048), `--epochs E` (3), `--apps a,b,c`
-//! (gauss,mergesort,neural), `--json` (emit JSON instead of Markdown),
-//! `--out PATH` (also write the JSON to a file).
+//! (gauss,mergesort,neural; `kv` adds the server workload), `--workload
+//! W` (run only that workload — `policy_matrix --workload kv` sweeps the
+//! key-value store alone), `--kv-keys N` (4096), `--kv-requests N`
+//! (requests per processor, 6000), `--kv-gap-ns N` (5000: a saturating
+//! arrival rate, so per-policy elapsed reflects service cost, not idle
+//! pacing), `--json` (emit JSON instead of Markdown), `--out PATH` (also
+//! write the JSON to a file).
 
 use std::fmt::Write as _;
 
 use platinum::PolicyKind;
-use platinum_apps::capture::{record_gauss, record_mergesort, record_neural, CapturedRun};
+use platinum_apps::capture::{
+    record_gauss, record_kv, record_mergesort, record_neural, CapturedRun,
+};
 use platinum_apps::gauss::GaussConfig;
 use platinum_apps::mergesort::SortConfig;
 use platinum_apps::neural::NeuralConfig;
 use platinum_reftrace::replay;
+use platinum_server::{KvConfig, TrafficConfig};
 
 use crate::Args;
 
@@ -183,8 +191,12 @@ pub fn run() {
     let n = args.get_or("--n", 96usize);
     let sort_n = args.get_or("--sort-n", 2048usize);
     let epochs = args.get_or("--epochs", 3usize);
+    let kv_keys = args.get_or("--kv-keys", 4096u64);
+    let kv_requests = args.get_or("--kv-requests", 6000usize);
+    let kv_gap_ns = args.get_or("--kv-gap-ns", 5_000u64);
     let apps = args
-        .get::<String>("--apps")
+        .get::<String>("--workload")
+        .or_else(|| args.get::<String>("--apps"))
         .unwrap_or_else(|| "gauss,mergesort,neural".to_string());
     let as_json = args.flag("--json");
 
@@ -195,7 +207,26 @@ pub fn run() {
             "gauss" => record_gauss(nodes, procs, &GaussConfig::with_n(n)),
             "mergesort" => record_mergesort(nodes, procs, &SortConfig::with_n(sort_n)),
             "neural" => record_neural(nodes, procs, &NeuralConfig::with_epochs(epochs)).0,
-            other => panic!("unknown app {other:?} (expected gauss, mergesort, neural)"),
+            "kv" => record_kv(
+                nodes,
+                procs,
+                KvConfig::for_keys(kv_keys, 8),
+                &TrafficConfig {
+                    keys: kv_keys,
+                    requests_per_proc: kv_requests,
+                    mean_interarrival_ns: kv_gap_ns,
+                    // Read-heavy, no bursts: at matrix scale the table
+                    // is only ~64 pages, so the default 20%+ write mix
+                    // makes every page write-hot and no placement can
+                    // replicate profitably. A 2% update rate keeps the
+                    // hot pages read-mostly — the regime where the
+                    // placement policies actually separate.
+                    write_pct: 2,
+                    burst_every: 0,
+                    ..TrafficConfig::default()
+                },
+            ),
+            other => panic!("unknown app {other:?} (expected gauss, mergesort, neural, kv)"),
         };
         if !as_json {
             println!(
@@ -207,6 +238,62 @@ pub fn run() {
             );
         }
         rows.extend(sweep(app, &captured));
+
+        if app == "kv" {
+            // The serve phase arrives faster than any policy can serve
+            // (5 µs mean gap), so per-policy elapsed is service cost:
+            // the five placements must price the same request stream
+            // measurably differently, and never replicating a
+            // read-mostly hot table must cost more than coherent
+            // placement.
+            let elapsed: Vec<u64> = PolicyKind::FIG1_SET
+                .iter()
+                .map(|&k| elapsed_of(&rows, app, k))
+                .collect();
+            let mut distinct = elapsed.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            checks.push(("kv_policy_spread".into(), distinct.len() >= 4));
+            let (min, max) = (elapsed.iter().min().unwrap(), elapsed.iter().max().unwrap());
+            assert!(
+                *max > *min + *min / 100,
+                "kv: no measurable policy spread (elapsed {elapsed:?})"
+            );
+            // A sharded KV table is fine-grain write-shared at page
+            // granularity (every page holds some written slot), the
+            // regime §6 of the paper calls out as hostile to page-level
+            // coherence: replication cannot amortize before the next
+            // invalidation, so static remote placement is the floor.
+            // What PLATINUM guarantees there is *bounded* damage — the
+            // freeze mechanism converges hot pages to remote mapping, so
+            // coherent memory lands near the remote floor instead of
+            // thrashing arbitrarily far past it. Assert that bound.
+            let coherent = elapsed_of(&rows, app, PolicyKind::Platinum);
+            let remote = elapsed_of(&rows, app, PolicyKind::RemoteAlways);
+            checks.push((
+                "kv_freeze_bounds_coherent_near_remote_floor".into(),
+                coherent <= remote + remote / 2,
+            ));
+            assert!(
+                coherent <= remote + remote / 2,
+                "kv: freezing failed to bound coherent memory near the \
+                 remote floor (coherent {coherent} vs remote {remote})"
+            );
+            // ... and the freeze escape hatch is what provides that
+            // bound: naive replication (same protocol, no freezing)
+            // re-copies hot pages after every invalidation and falls
+            // far behind.
+            let replicate = elapsed_of(&rows, app, PolicyKind::ReplicateOnly);
+            checks.push((
+                "kv_freeze_beats_naive_replication".into(),
+                coherent < replicate,
+            ));
+            assert!(
+                coherent < replicate,
+                "kv: PLATINUM (freezing) should beat replicate-only on a \
+                 write-shared table ({coherent} vs {replicate})"
+            );
+        }
 
         if app == "gauss" {
             // The paper's comparison (Fig. 1): coherent memory beats

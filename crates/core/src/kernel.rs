@@ -322,16 +322,12 @@ impl Kernel {
     /// emits the event against `proc`'s virtual clock. Every protocol
     /// emit site goes through here, which is what guarantees that the
     /// counters and the trace agree event for event.
+    ///
+    /// Public so instrumented tiers above the kernel (the server workload
+    /// driver's per-request records) flow through the same choke point as
+    /// the protocol's own events.
     #[inline]
-    pub(crate) fn record(
-        &self,
-        proc: usize,
-        vtime: u64,
-        kind: EventKind,
-        code: u8,
-        page: u64,
-        arg: u64,
-    ) {
+    pub fn record(&self, proc: usize, vtime: u64, kind: EventKind, code: u8, page: u64, arg: u64) {
         self.stats.record(proc, kind);
         #[cfg(feature = "trace")]
         if let Some(t) = self.machine.tracer() {

@@ -97,6 +97,7 @@ impl KernelStats {
             transfer_faults: self.count(EventKind::TransferFault),
             alloc_faults: self.count(EventKind::AllocFault),
             fault_recoveries: self.count(EventKind::FaultRecovery),
+            server_requests: self.count(EventKind::ServerRequest),
         }
     }
 }
@@ -141,6 +142,8 @@ pub struct StatsSnapshot {
     pub alloc_faults: u64,
     /// Fault-injection episodes that completed recovery.
     pub fault_recoveries: u64,
+    /// Requests completed by the server workload tier.
+    pub server_requests: u64,
 }
 
 impl StatsSnapshot {
@@ -174,6 +177,7 @@ impl StatsSnapshot {
             fault_recoveries: self
                 .fault_recoveries
                 .saturating_sub(earlier.fault_recoveries),
+            server_requests: self.server_requests.saturating_sub(earlier.server_requests),
         }
     }
 
@@ -199,7 +203,11 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "  frames freed      {:>10}", self.frames_freed)?;
         writeln!(f, "  defrost runs      {:>10}", self.defrost_runs)?;
         writeln!(f, "  replica reclaims  {:>10}", self.reclaims)?;
-        // Fault-injection counters only clutter healthy runs.
+        // Server-tier and fault-injection counters only clutter runs that
+        // did not exercise them.
+        if self.server_requests > 0 {
+            writeln!(f, "  server requests   {:>10}", self.server_requests)?;
+        }
         if self.injected_faults() + self.fault_recoveries > 0 {
             writeln!(f, "  mem errors        {:>10}", self.mem_errors)?;
             writeln!(f, "  ack timeouts      {:>10}", self.shootdown_timeouts)?;

@@ -1,0 +1,421 @@
+//! The request driver: deterministic open-loop measurement and a
+//! concurrent closed-loop saturation mode.
+//!
+//! # Why the open-loop driver is deterministic
+//!
+//! The reference-trace replay engine established the argument this
+//! driver reuses: if kernel entries happen one at a time in a fixed
+//! global order (with waiting processors servicing shootdown IPIs and
+//! *nothing else*), then every protocol decision — replicate vs.
+//! migrate, freeze, evict — sees identical state on every run, so
+//! virtual times, counters, and table contents are bit-identical. Here
+//! the fixed order is the merged arrival schedule: workers take turns
+//! at *request* granularity (coarser than the replay engine's
+//! per-operation gate, but the same invariant: one runner, everyone
+//! else only acknowledging shootdowns). The simulation must be booted
+//! with `skew_window_ns: None`, as the capture engine does — the skew
+//! throttle is a liveness aid for free-running workers and would add
+//! host-dependent kernel entries.
+//!
+//! Virtual time still *overlaps* between processors — each worker's
+//! clock advances independently, arrivals pace it, and a backlogged
+//! worker's completions lag its arrivals — so open-loop latency
+//! (completion minus scheduled arrival) includes queueing delay, which
+//! is the number a server operator actually experiences.
+//!
+//! The closed-loop mode runs the workers genuinely concurrently (next
+//! request issues the moment the previous completes). It saturates the
+//! protocol with real cross-processor races, at the price of
+//! host-schedule-dependent results: use it for stress and ceiling
+//! numbers, never for baseline checks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use numa_machine::Mem as _;
+use platinum::{StatsSnapshot, UserCtx};
+use platinum_runtime::sim::Sim;
+use platinum_trace::EventKind;
+
+use crate::hist::Histogram;
+use crate::traffic::Request;
+use crate::ServerMem;
+
+/// A server workload the driver can run: populate once, then execute
+/// requests. Implementations are written against [`ServerMem`], so the
+/// same workload runs live (`UserCtx`), recorded
+/// (`RecordingCtx`), and in unit tests (`FlatMem`).
+pub trait Workload: Sync {
+    /// Builds this worker's partition of the initial state.
+    fn populate<M: ServerMem>(
+        &self,
+        m: &mut M,
+        worker: usize,
+        workers: usize,
+    ) -> platinum::Result<()>;
+
+    /// Executes one request.
+    fn execute<M: ServerMem>(&self, m: &mut M, req: &Request) -> platinum::Result<()>;
+
+    /// Request class for the trace record (0 read, 1 write, 2 pipeline).
+    fn class(&self, req: &Request) -> u8;
+
+    /// Number of throughput-accounting shards.
+    fn shards(&self) -> usize;
+
+    /// The shard a request against `key` is accounted to.
+    fn shard_of(&self, key: u64) -> usize;
+}
+
+/// What one driver phase measured.
+#[derive(Clone, Debug)]
+pub struct DriverReport {
+    /// Requests completed.
+    pub requests: u64,
+    /// Read-class requests.
+    pub reads: u64,
+    /// Write-class requests.
+    pub writes: u64,
+    /// Requests that had to be retried after a recoverable error
+    /// surfaced through the fallible access path (fault injection).
+    pub retries: u64,
+    /// Measured-phase execution time: max worker virtual time, ns.
+    pub elapsed_ns: u64,
+    /// All-request latency histogram.
+    pub latency: Histogram,
+    /// Read-only latency histogram.
+    pub read_latency: Histogram,
+    /// Write latency histogram.
+    pub write_latency: Histogram,
+    /// Requests accounted to each workload shard.
+    pub per_shard: Vec<u64>,
+    /// Requests executed by each processor.
+    pub per_proc: Vec<u64>,
+    /// Kernel protocol counters over the measured phase only
+    /// (after minus before).
+    pub protocol: StatsSnapshot,
+}
+
+impl DriverReport {
+    /// `count` per 1000 completed requests (protocol-cost attribution).
+    pub fn per_1k(&self, count: u64) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            count as f64 * 1000.0 / self.requests as f64
+        }
+    }
+
+    /// Completed requests per virtual second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.requests as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+}
+
+/// Which driver produced a report (stamped into artifacts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerPhase {
+    /// Deterministic serialized open loop.
+    OpenLoop,
+    /// Concurrent closed loop (host-schedule dependent).
+    ClosedLoop,
+}
+
+/// Upper bound on per-request retries before the driver declares the
+/// fault plan unrecoverable. The injection hash is keyed by attempt, so
+/// honest transient plans converge in a handful of tries.
+const MAX_ATTEMPTS: u32 = 64;
+
+/// Runs `exec` over `items` serialized in item order: item `i` runs on
+/// processor `proc_of(item)` only after items `0..i` finished, while
+/// every other worker spins servicing shootdown IPIs. One attached
+/// context per processor for the whole pass.
+fn run_serialized<T, A>(
+    sim: &Sim,
+    procs: usize,
+    items: &[T],
+    proc_of: impl Fn(&T) -> usize + Sync,
+    init: impl Fn(usize) -> A + Sync,
+    exec: impl Fn(&mut UserCtx, &T, &mut A) + Sync,
+) -> (Vec<A>, Vec<u64>)
+where
+    T: Sync,
+    A: Send,
+{
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<(A, u64)>> = Vec::new();
+    out.resize_with(procs, || None);
+    std::thread::scope(|s| {
+        let cursor = &cursor;
+        let proc_of = &proc_of;
+        let init = &init;
+        let exec = &exec;
+        for (p, slot) in out.iter_mut().enumerate() {
+            s.spawn(move || {
+                let mut ctx = sim
+                    .attach(p)
+                    .expect("driver worker claims a free processor");
+                let mut acc = init(p);
+                let mut spins = 0u32;
+                loop {
+                    let i = cursor.load(Ordering::Acquire);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if proc_of(&items[i]) != p {
+                        // Not our turn: keep shootdowns flowing (the
+                        // runner may be blocked on our ack) and nothing
+                        // else.
+                        ctx.service_ipis();
+                        spins += 1;
+                        if spins & 63 == 0 {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                        continue;
+                    }
+                    spins = 0;
+                    exec(&mut ctx, &items[i], &mut acc);
+                    cursor.store(i + 1, Ordering::Release);
+                }
+                let vtime = ctx.vtime();
+                // Dropping the context deactivates the space, which
+                // acknowledges any still-pending mapping changes — no
+                // runner can block on an exited worker.
+                drop(ctx);
+                *slot = Some((acc, vtime));
+            });
+        }
+    });
+    let mut accs = Vec::with_capacity(procs);
+    let mut vtimes = Vec::with_capacity(procs);
+    for slot in out {
+        let (a, v) = slot.expect("driver worker completed");
+        accs.push(a);
+        vtimes.push(v);
+    }
+    (accs, vtimes)
+}
+
+/// Per-worker measurement accumulator.
+struct Acc {
+    all: Histogram,
+    read: Histogram,
+    write: Histogram,
+    per_shard: Vec<u64>,
+    requests: u64,
+    reads: u64,
+    writes: u64,
+    retries: u64,
+}
+
+impl Acc {
+    fn new(shards: usize) -> Self {
+        Acc {
+            all: Histogram::new(),
+            read: Histogram::new(),
+            write: Histogram::new(),
+            per_shard: vec![0; shards],
+            requests: 0,
+            reads: 0,
+            writes: 0,
+            retries: 0,
+        }
+    }
+}
+
+/// Executes one request against `w`, retrying surfaced recoverable
+/// errors, and returns the completion vtime.
+fn execute_one<W: Workload>(ctx: &mut UserCtx, w: &W, req: &Request, acc: &mut Acc) {
+    if ctx.vtime() < req.arrival_ns {
+        // Idle until the request arrives; a backlogged worker skips
+        // this and the excess shows up as queueing latency.
+        ctx.advance_to(req.arrival_ns);
+    }
+    let mut attempts = 0u32;
+    loop {
+        match w.execute(ctx, req) {
+            Ok(()) => break,
+            Err(e) => {
+                acc.retries += 1;
+                attempts += 1;
+                assert!(
+                    attempts < MAX_ATTEMPTS,
+                    "request {} (key {}) unrecoverable after {attempts} attempts: {e}",
+                    req.serial,
+                    req.key
+                );
+            }
+        }
+    }
+    let done = ctx.vtime();
+    let latency = done - req.arrival_ns;
+    let class = w.class(req);
+    acc.all.record(latency);
+    if class == 1 {
+        acc.write.record(latency);
+        acc.writes += 1;
+    } else {
+        acc.read.record(latency);
+        acc.reads += 1;
+    }
+    acc.per_shard[w.shard_of(req.key)] += 1;
+    acc.requests += 1;
+    // Per-request record through the kernel's choke point: counted in
+    // the aggregate stats and visible to an installed tracer.
+    ctx.kernel().record(
+        ctx.proc_id(),
+        done,
+        EventKind::ServerRequest,
+        class,
+        req.key,
+        latency,
+    );
+}
+
+fn merge_report(
+    accs: Vec<Acc>,
+    vtimes: Vec<u64>,
+    shards: usize,
+    protocol: StatsSnapshot,
+) -> DriverReport {
+    let mut rep = DriverReport {
+        requests: 0,
+        reads: 0,
+        writes: 0,
+        retries: 0,
+        elapsed_ns: vtimes.iter().copied().max().unwrap_or(0),
+        latency: Histogram::new(),
+        read_latency: Histogram::new(),
+        write_latency: Histogram::new(),
+        per_shard: vec![0; shards],
+        per_proc: Vec::with_capacity(accs.len()),
+        protocol,
+    };
+    for acc in accs {
+        rep.requests += acc.requests;
+        rep.reads += acc.reads;
+        rep.writes += acc.writes;
+        rep.retries += acc.retries;
+        rep.latency.merge(&acc.all);
+        rep.read_latency.merge(&acc.read);
+        rep.write_latency.merge(&acc.write);
+        for (t, s) in rep.per_shard.iter_mut().zip(&acc.per_shard) {
+            *t += s;
+        }
+        rep.per_proc.push(acc.requests);
+    }
+    rep
+}
+
+/// Populates `w` (one serialized turn per worker, so each worker
+/// first-touches its own partition) and then executes the merged
+/// open-loop `schedule` deterministically. The populate and measured
+/// phases each attach fresh contexts with clocks at zero, mirroring the
+/// phase structure of every other harness in the repository.
+///
+/// Boot the simulation with `skew_window_ns: None` — see the module
+/// docs.
+pub fn run_open_loop<W: Workload>(
+    sim: &Sim,
+    w: &W,
+    procs: usize,
+    schedule: &[Request],
+) -> DriverReport {
+    assert!(
+        sim.machine.cfg().skew_window_ns.is_none(),
+        "deterministic driver needs skew_window_ns: None (as the capture engine boots)"
+    );
+    let turns: Vec<usize> = (0..procs).collect();
+    run_serialized(
+        sim,
+        procs,
+        &turns,
+        |&t| t,
+        |_| (),
+        |ctx, &t, _: &mut ()| {
+            w.populate(ctx, t, procs)
+                .expect("populate phase must not hit injected-fault residue")
+        },
+    );
+
+    let before = sim.kernel.stats().snapshot();
+    let (accs, vtimes) = run_serialized(
+        sim,
+        procs,
+        schedule,
+        |r| r.proc,
+        |_| Acc::new(w.shards()),
+        |ctx, req, acc| execute_one(ctx, w, req, acc),
+    );
+    let protocol = sim.kernel.stats().snapshot().delta(&before);
+    merge_report(accs, vtimes, w.shards(), protocol)
+}
+
+/// Populates `w` and then runs every worker concurrently through its
+/// own request list back to back, ignoring arrival pacing: each request
+/// issues the moment the previous completes, so the measured latency is
+/// pure service time at saturation. Host-schedule dependent — never
+/// compare against a committed baseline.
+pub fn run_closed_loop<W: Workload>(sim: &Sim, w: &W, per_proc: &[Vec<Request>]) -> DriverReport {
+    let procs = per_proc.len();
+    let turns: Vec<usize> = (0..procs).collect();
+    run_serialized(
+        sim,
+        procs,
+        &turns,
+        |&t| t,
+        |_| (),
+        |ctx, &t, _: &mut ()| {
+            w.populate(ctx, t, procs)
+                .expect("populate phase must not hit injected-fault residue")
+        },
+    );
+
+    let before = sim.kernel.stats().snapshot();
+    let (outs, run) = sim.run(procs, |p, ctx| {
+        let mut acc = Acc::new(w.shards());
+        for req in &per_proc[p] {
+            let start = ctx.vtime();
+            let mut attempts = 0u32;
+            loop {
+                match w.execute(ctx, req) {
+                    Ok(()) => break,
+                    Err(e) => {
+                        acc.retries += 1;
+                        attempts += 1;
+                        assert!(attempts < MAX_ATTEMPTS, "unrecoverable request: {e}");
+                    }
+                }
+            }
+            let latency = ctx.vtime() - start;
+            let class = w.class(req);
+            acc.all.record(latency);
+            if class == 1 {
+                acc.write.record(latency);
+                acc.writes += 1;
+            } else {
+                acc.read.record(latency);
+                acc.reads += 1;
+            }
+            acc.per_shard[w.shard_of(req.key)] += 1;
+            acc.requests += 1;
+            ctx.kernel().record(
+                ctx.proc_id(),
+                ctx.vtime(),
+                EventKind::ServerRequest,
+                class,
+                req.key,
+                latency,
+            );
+        }
+        acc
+    });
+    let protocol = sim.kernel.stats().snapshot().delta(&before);
+    let vtimes = run.workers.iter().map(|w| w.vtime_ns).collect();
+    merge_report(outs, vtimes, w.shards(), protocol)
+}

@@ -33,6 +33,7 @@
 /// | `TransferFault` | retry attempt | coherent page id | src module |
 /// | `AllocFault` | probe attempt | coherent page id | refusing module |
 /// | `FaultRecovery` | [`FaultSite`] | coherent page id | begin vtime (ns) |
+/// | `ServerRequest` | 0=read 1=write 2=pipeline | request key | latency (ns) |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum EventKind {
@@ -90,11 +91,15 @@ pub enum EventKind {
     /// vtime at which the first error was observed, so exporters can
     /// render the whole fault → retry → recovery episode as a span.
     FaultRecovery = 25,
+    /// The server workload tier completed one request; `code` is the
+    /// request class (0 read, 1 write, 2 pipeline), `page` the request
+    /// key, `arg` the request's virtual-time latency in ns.
+    ServerRequest = 26,
 }
 
 impl EventKind {
     /// Number of kinds (counters and decode tables are sized by this).
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 27;
 
     /// Every kind, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -124,6 +129,7 @@ impl EventKind {
         EventKind::TransferFault,
         EventKind::AllocFault,
         EventKind::FaultRecovery,
+        EventKind::ServerRequest,
     ];
 
     /// Decodes a discriminant produced by `kind as u8`.
@@ -160,6 +166,7 @@ impl EventKind {
             EventKind::TransferFault => "transfer_fault",
             EventKind::AllocFault => "alloc_fault",
             EventKind::FaultRecovery => "fault_recovery",
+            EventKind::ServerRequest => "server_request",
         }
     }
 
