@@ -17,15 +17,18 @@
 //!
 //! Usage:
 //!   host_throughput [--ops 4000000] [--rounds 20000] [--out FILE]
-//!                   [--check --baseline FILE [--tolerance 0.20]]
+//!                   [--mix NAME] [--check --baseline FILE [--tolerance 0.20]]
 //!
-//! `--out` writes a JSON artifact (default BENCH_host_throughput.json).
+//! `--out` writes a JSON artifact (default results/BENCH_host_throughput.json;
+//! bench artifacts live under results/, never the repo root).
+//! `--mix` restricts the run to one mix for quick iteration.
 //! `--check` compares each mix's fast-path MIPS against a baseline
 //! artifact and exits nonzero on a regression beyond the tolerance.
 
 use std::time::Instant;
 
 use numa_machine::{MachineConfig, Mem};
+use platinum::hostprof::HostProfSnapshot;
 use platinum::{NeverReplicate, PlatinumPolicy, ReplicationPolicy, Rights, UserCtx};
 use platinum_analysis::report::json::Value;
 use platinum_analysis::report::Table;
@@ -51,6 +54,12 @@ struct MixResult {
     ops: u64,
     fast_mips: f64,
     reference_mips: f64,
+    /// Host time spent in each kernel slow-path phase during the
+    /// profiled pass (a separate pass: enabling the profiler adds two
+    /// clock reads per span, so the timed slices above run unprofiled).
+    prof: HostProfSnapshot,
+    /// Reference count of the profiled pass, for per-op normalization.
+    profiled_ops: u64,
 }
 
 impl MixResult {
@@ -76,8 +85,9 @@ fn pattern(va: u64, page_bytes: u64) -> Vec<(u64, bool)> {
 }
 
 /// ATC-resident references to pages homed on the running processor.
-fn all_local(fast_path: bool, ops: u64) -> f64 {
-    // Returns elapsed host seconds for `ops` references (setup excluded).
+/// Returns elapsed host seconds for `ops` references (setup excluded)
+/// plus the kernel phase profile when `profile` is set.
+fn all_local(fast_path: bool, ops: u64, profile: bool) -> (f64, HostProfSnapshot) {
     let sim = boot(2, fast_path, None);
     let object = sim.kernel.create_object(PAGES as usize);
     let va = sim.space.map_anywhere(object, Rights::RW).unwrap();
@@ -88,6 +98,9 @@ fn all_local(fast_path: bool, ops: u64) -> f64 {
     }
     let pat = pattern(va, page_bytes);
     let rounds = ops.div_ceil(64);
+    if profile {
+        sim.kernel.host_prof().enable();
+    }
     let start = Instant::now();
     let mut sum = 0u32;
     for r in 0..rounds {
@@ -100,11 +113,14 @@ fn all_local(fast_path: bool, ops: u64) -> f64 {
         }
     }
     std::hint::black_box(sum);
-    start.elapsed().as_secs_f64()
+    (
+        start.elapsed().as_secs_f64(),
+        sim.kernel.host_prof().snapshot(),
+    )
 }
 
 /// ATC-resident references to pages statically placed on a remote node.
-fn all_remote(fast_path: bool, ops: u64) -> f64 {
+fn all_remote(fast_path: bool, ops: u64, profile: bool) -> (f64, HostProfSnapshot) {
     let sim = boot(2, fast_path, Some(Box::new(NeverReplicate)));
     let object = sim.kernel.create_object(PAGES as usize);
     let va = sim.space.map_anywhere(object, Rights::RW).unwrap();
@@ -119,6 +135,9 @@ fn all_remote(fast_path: bool, ops: u64) -> f64 {
     let mut ctx = sim.attach(0).unwrap();
     let pat = pattern(va, page_bytes);
     let rounds = ops.div_ceil(64);
+    if profile {
+        sim.kernel.host_prof().enable();
+    }
     let start = Instant::now();
     let mut sum = 0u32;
     for _ in 0..rounds {
@@ -127,12 +146,15 @@ fn all_remote(fast_path: bool, ops: u64) -> f64 {
         }
     }
     std::hint::black_box(sum);
-    start.elapsed().as_secs_f64()
+    (
+        start.elapsed().as_secs_f64(),
+        sim.kernel.host_prof().snapshot(),
+    )
 }
 
 /// Write ping-pong: each reference invalidates the peer's copy and
 /// migrates the page, so the protocol slow path dominates.
-fn fault_heavy(fast_path: bool, rounds: u64) -> f64 {
+fn fault_heavy(fast_path: bool, rounds: u64, profile: bool) -> (f64, HostProfSnapshot) {
     let sim = boot(
         2,
         fast_path,
@@ -151,12 +173,18 @@ fn fault_heavy(fast_path: bool, rounds: u64) -> f64 {
         w.write(va, val);
         s.resume();
     };
+    if profile {
+        sim.kernel.host_prof().enable();
+    }
     let start = Instant::now();
     for k in 0..rounds {
         ping(&mut a, &mut b, k as u32);
         ping(&mut b, &mut a, k as u32);
     }
-    start.elapsed().as_secs_f64()
+    (
+        start.elapsed().as_secs_f64(),
+        sim.kernel.host_prof().snapshot(),
+    )
 }
 
 /// Measures one mix with the two paths interleaved (fast, reference,
@@ -165,30 +193,56 @@ fn fault_heavy(fast_path: bool, rounds: u64) -> f64 {
 /// instead of on whichever ran second; taking the minimum discards the
 /// noise bursts that inflate a sum, which is what a throughput capability
 /// number should exclude.
-fn interleaved(name: &'static str, ops: u64, run: impl Fn(bool, u64) -> f64) -> MixResult {
+fn interleaved(
+    name: &'static str,
+    ops: u64,
+    run: impl Fn(bool, u64, bool) -> (f64, HostProfSnapshot),
+) -> MixResult {
     const SLICES: u64 = 6;
     let slice = (ops / SLICES).max(1);
     let (mut fast_secs, mut ref_secs) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..SLICES {
-        fast_secs = fast_secs.min(run(true, slice));
-        ref_secs = ref_secs.min(run(false, slice));
+        fast_secs = fast_secs.min(run(true, slice, false).0);
+        ref_secs = ref_secs.min(run(false, slice, false).0);
     }
+    // One extra fast-path slice with the kernel phase profiler on. Kept
+    // out of the timed slices above: each profiled span costs two extra
+    // clock reads, which would depress the throughput numbers the
+    // `--check` gate compares.
+    let (_, prof) = run(true, slice, true);
     MixResult {
         name,
         ops,
         fast_mips: mips(slice, fast_secs),
         reference_mips: mips(slice, ref_secs),
+        prof,
+        profiled_ops: slice,
     }
 }
 
-fn run_mixes(ops: u64, rounds: u64) -> Vec<MixResult> {
-    vec![
-        interleaved("all_local", ops, all_local),
-        interleaved("all_remote", ops, all_remote),
-        interleaved("fault_heavy", rounds * 2, |fast, n| {
-            fault_heavy(fast, n / 2)
-        }),
-    ]
+fn run_mixes(ops: u64, rounds: u64, only: Option<&str>) -> Vec<MixResult> {
+    let wanted = |name: &str| only.is_none_or(|m| m == name);
+    let mut out = Vec::new();
+    if wanted("all_local") {
+        out.push(interleaved("all_local", ops, all_local));
+    }
+    if wanted("all_remote") {
+        out.push(interleaved("all_remote", ops, all_remote));
+    }
+    if wanted("fault_heavy") {
+        out.push(interleaved("fault_heavy", rounds * 2, |fast, n, prof| {
+            fault_heavy(fast, n / 2, prof)
+        }));
+    }
+    assert!(
+        !out.is_empty(),
+        "--mix must be one of all_local, all_remote, fault_heavy"
+    );
+    out
+}
+
+fn per_op(ns: u64, r: &MixResult) -> f64 {
+    ns as f64 / r.profiled_ops.max(1) as f64
 }
 
 fn artifact(results: &[MixResult]) -> String {
@@ -210,6 +264,20 @@ fn artifact(results: &[MixResult]) -> String {
                             ("fast_mips", Value::Num(r.fast_mips)),
                             ("reference_mips", Value::Num(r.reference_mips)),
                             ("speedup", Value::Num(r.speedup())),
+                            // Where the fast path's host time goes, from a
+                            // separate profiled slice (the timed slices run
+                            // unprofiled). ns-per-op so different --ops runs
+                            // stay comparable; the four buckets only cover
+                            // slow-path work, so all_local's are near zero.
+                            (
+                                "host_phase_ns_per_op",
+                                Value::obj(vec![
+                                    ("fault", Value::Num(per_op(r.prof.fault_ns, r))),
+                                    ("shootdown", Value::Num(per_op(r.prof.shootdown_ns, r))),
+                                    ("transfer", Value::Num(per_op(r.prof.transfer_ns, r))),
+                                    ("directory", Value::Num(per_op(r.prof.directory_ns, r))),
+                                ]),
+                            ),
                         ])
                     })
                     .collect(),
@@ -234,12 +302,13 @@ fn main() {
     let args = Args::parse();
     let ops = args.get_or("--ops", 2_000_000u64);
     let rounds = args.get_or("--rounds", 20_000u64);
+    let mix = args.get::<String>("--mix");
     let out = args
         .get::<String>("--out")
-        .unwrap_or_else(|| "BENCH_host_throughput.json".to_string());
+        .unwrap_or_else(|| "results/BENCH_host_throughput.json".to_string());
 
     println!("Host throughput: simulated references per host second\n");
-    let results = run_mixes(ops, rounds);
+    let results = run_mixes(ops, rounds, mix.as_deref());
 
     let mut table = Table::new(vec![
         "mix",
@@ -259,6 +328,12 @@ fn main() {
     }
     println!("{table}");
 
+    if let Some(dir) = std::path::Path::new(&out)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    }
     std::fs::write(&out, artifact(&results)).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("artifact written to {out}");
 

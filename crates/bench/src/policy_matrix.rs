@@ -33,7 +33,7 @@ use platinum_apps::capture::{
 use platinum_apps::gauss::GaussConfig;
 use platinum_apps::mergesort::SortConfig;
 use platinum_apps::neural::NeuralConfig;
-use platinum_reftrace::replay;
+use platinum_reftrace::{replay, replay_many};
 use platinum_server::{KvConfig, TrafficConfig};
 
 use crate::Args;
@@ -64,15 +64,17 @@ fn remote_ratio(run: &platinum_runtime::measure::RunStats) -> f64 {
     }
 }
 
-/// Replays `captured` under every Fig. 1 policy and returns the rows,
-/// asserting PLATINUM bit-identity against the live run.
+/// Replays `captured` under every Fig. 1 policy — concurrently, one host
+/// thread per policy — and returns the rows, asserting PLATINUM
+/// bit-identity of the parallel replay against both the live run and a
+/// serial replay.
 fn sweep(app: &str, captured: &CapturedRun) -> Vec<Row> {
     let mut rows = Vec::new();
-    for kind in PolicyKind::FIG1_SET {
-        let out = replay(&captured.trace, kind);
+    let outs = replay_many(&captured.trace, &PolicyKind::FIG1_SET);
+    for (kind, out) in PolicyKind::FIG1_SET.into_iter().zip(outs) {
         let last = out.phases.last().expect("trace has a measured phase");
         let bit_identical = if kind == PolicyKind::Platinum {
-            let same = last
+            let same_as_live = last
                 .stats
                 .workers
                 .iter()
@@ -80,13 +82,25 @@ fn sweep(app: &str, captured: &CapturedRun) -> Vec<Row> {
                 .all(|(r, l)| r.vtime_ns == l.vtime_ns && r.counters == l.counters)
                 && out.kernel == captured.live.kernel_stats;
             assert!(
-                same,
-                "{app}: PLATINUM replay diverged from the live run \
-                 (replay {} ns vs live {} ns)",
+                same_as_live,
+                "{app}: parallel PLATINUM replay diverged from the live \
+                 run (replay {} ns vs live {} ns)",
                 last.stats.elapsed_ns(),
                 captured.live.elapsed_ns,
             );
-            Some(same)
+            let serial = replay(&captured.trace, kind);
+            let same_as_serial = serial.phases.iter().zip(&out.phases).all(|(a, b)| {
+                a.stats
+                    .workers
+                    .iter()
+                    .zip(&b.stats.workers)
+                    .all(|(x, y)| x.vtime_ns == y.vtime_ns && x.counters == y.counters)
+            }) && serial.kernel == out.kernel;
+            assert!(
+                same_as_serial,
+                "{app}: parallel PLATINUM replay diverged from the serial replay"
+            );
+            Some(same_as_live && same_as_serial)
         } else {
             None
         };

@@ -1,6 +1,5 @@
 //! Cmap entries and the shootdown message queues (§2.3 of the paper).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -8,6 +7,7 @@ use parking_lot::{Mutex, RwLock};
 
 use numa_machine::{procs_in_mask, Vpn};
 
+use crate::hash::FastMap;
 use crate::ids::{CpageId, Rights};
 
 /// A Cmap entry: the cached composition of the virtual-to-object and
@@ -102,6 +102,17 @@ impl CmapMsg {
         })
     }
 
+    /// Rewrites the message in place for reuse. Requires exclusive access
+    /// (`Arc::get_mut`), which proves no queue, target, or waiter still
+    /// holds the message — the per-processor message pools rely on this
+    /// to recycle acknowledged messages without heap traffic.
+    pub fn reset(&mut self, vpn: Vpn, directive: Directive, targets: u64) {
+        self.vpn = vpn;
+        self.directive = directive;
+        *self.targets.get_mut() = targets;
+        *self.ack_vtime.get_mut() = 0;
+    }
+
     /// Clears `p`'s bit, acknowledging the change at virtual time `now`.
     #[inline]
     pub fn ack(&self, p: usize, now: u64) {
@@ -132,7 +143,7 @@ pub const DEFAULT_SHARDS: usize = 16;
 const MAX_PROCS: usize = 64;
 
 /// One directory shard: a lock over the VPN-to-entry map it stripes.
-type Shard = RwLock<HashMap<Vpn, Arc<CmapEntry>>>;
+type Shard = RwLock<FastMap<Vpn, Arc<CmapEntry>>>;
 
 /// The per-address-space Cmap: the virtual-to-coherent page table plus the
 /// queues of recent mapping-change messages (§2.3).
@@ -171,7 +182,7 @@ impl Cmap {
             "Cmap shard count must be a nonzero power of two"
         );
         let mut s = Vec::with_capacity(shards);
-        s.resize_with(shards, || RwLock::new(HashMap::new()));
+        s.resize_with(shards, || RwLock::new(FastMap::default()));
         let mut q = Vec::with_capacity(MAX_PROCS);
         q.resize_with(MAX_PROCS, || Mutex::new(Vec::new()));
         Self {
@@ -187,13 +198,28 @@ impl Cmap {
     }
 
     #[inline]
-    fn shard(&self, vpn: Vpn) -> &RwLock<HashMap<Vpn, Arc<CmapEntry>>> {
+    fn shard(&self, vpn: Vpn) -> &RwLock<FastMap<Vpn, Arc<CmapEntry>>> {
         &self.shards[(vpn as usize) & self.shard_mask]
     }
 
     /// Looks up the entry for `vpn`.
     pub fn entry(&self, vpn: Vpn) -> Option<Arc<CmapEntry>> {
         self.shard(vpn).read().get(&vpn).cloned()
+    }
+
+    /// The reference mask of the entry for `vpn`, read without an Arc
+    /// round-trip — the shootdown post path only needs the mask.
+    pub fn refs_of(&self, vpn: Vpn) -> Option<u64> {
+        self.shard(vpn).read().get(&vpn).map(|e| e.refs())
+    }
+
+    /// Runs `f` on the entry for `vpn`, if present, under the shard read
+    /// lock — the message-apply path's `clear_ref` without cloning the
+    /// entry handle.
+    pub fn with_entry(&self, vpn: Vpn, f: impl FnOnce(&CmapEntry)) {
+        if let Some(e) = self.shard(vpn).read().get(&vpn) {
+            f(e);
+        }
     }
 
     /// Inserts an entry for `vpn`, returning the entry actually in the
@@ -239,13 +265,22 @@ impl Cmap {
     /// private queue is locked, so targets never contend with initiators
     /// posting to other processors.
     pub fn pending_for(&self, p: usize) -> Vec<Arc<CmapMsg>> {
+        let mut out = Vec::new();
+        self.pending_for_into(p, &mut out);
+        out
+    }
+
+    /// [`Cmap::pending_for`] into a caller-owned buffer (cleared first),
+    /// so the fault path's steady state drains without allocating.
+    pub fn pending_for_into(&self, p: usize, out: &mut Vec<Arc<CmapMsg>>) {
+        out.clear();
         let bit = 1u64 << p;
         let mut q = self.queues[p].lock();
         if q.is_empty() {
-            return Vec::new();
+            return;
         }
         q.retain(|m| m.pending() & bit != 0);
-        q.clone()
+        out.extend(q.iter().cloned());
     }
 
     /// Number of distinct unacknowledged messages (tests and reporting).

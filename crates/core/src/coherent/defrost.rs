@@ -20,7 +20,7 @@ use numa_machine::Va;
 use platinum_trace::EventKind;
 
 use crate::coherent::cmap::Directive;
-use crate::coherent::cpage::CpState;
+use crate::coherent::cpage::{CpState, CpageInner};
 use crate::error::{KernelError, Result};
 use crate::ids::CpageId;
 use crate::kernel::Kernel;
@@ -88,16 +88,42 @@ impl Kernel {
 
     /// Unconditionally runs one defrost pass: thaws every enrolled page
     /// by invalidating all mappings to it.
+    ///
+    /// The pass is the flagship [`ShootdownBatch`] client: every frozen
+    /// page's invalidation directives are posted up front (with per-page
+    /// charges and records identical to thawing the pages one at a time)
+    /// and all acknowledgments are awaited in a single combined round, so
+    /// the daemon pays one IPI round-trip latency for the whole list
+    /// instead of one per page.
+    ///
+    /// [`ShootdownBatch`]: crate::coherent::shootdown::ShootdownBatch
     pub fn run_defrost(&self, ctx: &mut UserCtx) {
         ctx.core.charge(self.config().costs.defrost_run_ns);
         let list = self.defrost.take();
         let examined = list.len() as u64;
         let mut thawed = 0u64;
-        for id in list {
-            if self.thaw_cpage(ctx, id) {
+        // Lock in page-id order (concurrent multi-page initiators must
+        // not acquire in conflicting orders), thaw in enrollment order —
+        // the order a page-at-a-time daemon charges. Guards are held
+        // until the flush so no fault sees a half-thawed batch.
+        let pages: Vec<_> = list.iter().filter_map(|&id| self.cpages.get(id)).collect();
+        let mut order: Vec<usize> = (0..pages.len()).collect();
+        order.sort_unstable_by_key(|&i| pages[i].id());
+        let mut guards: Vec<Option<parking_lot::MutexGuard<CpageInner>>> = Vec::new();
+        guards.resize_with(pages.len(), || None);
+        for &i in &order {
+            guards[i] = Some(self.lock_cpage(ctx, &pages[i]));
+        }
+        let mut batch = ctx.take_batch();
+        for (i, cpage) in pages.iter().enumerate() {
+            let g = guards[i].as_mut().expect("locked above");
+            if self.thaw_locked(ctx, &mut batch, cpage, g) {
                 thawed += 1;
             }
         }
+        self.batch_flush(ctx, &mut batch);
+        ctx.put_batch(batch);
+        drop(guards);
         self.record(
             ctx.core.id(),
             ctx.core.vtime(),
@@ -111,12 +137,29 @@ impl Kernel {
     /// Thaws one coherent page: invalidates every translation so the next
     /// access faults and the policy can decide afresh. Returns whether
     /// the page was actually thawed (it may have been thawed by other
-    /// means since enrollment).
+    /// means since enrollment). A batch of one.
     pub(crate) fn thaw_cpage(&self, ctx: &mut UserCtx, id: CpageId) -> bool {
         let Some(cpage) = self.cpages.get(id) else {
             return false;
         };
         let mut g = self.lock_cpage(ctx, &cpage);
+        let mut batch = ctx.take_batch();
+        let thawed = self.thaw_locked(ctx, &mut batch, &cpage, &mut g);
+        self.batch_flush(ctx, &mut batch);
+        ctx.put_batch(batch);
+        thawed
+    }
+
+    /// Thaw body run under the page lock: posts the invalidation
+    /// directives into `batch` (the caller flushes) and resets the
+    /// directory to a single unfrozen read-only copy.
+    fn thaw_locked(
+        &self,
+        ctx: &mut UserCtx,
+        batch: &mut crate::coherent::shootdown::ShootdownBatch,
+        cpage: &crate::coherent::cpage::Cpage,
+        g: &mut CpageInner,
+    ) -> bool {
         if !g.frozen {
             // Thawed by other means (migration under the thaw-on-access
             // variant, explicit thaw) since enrollment.
@@ -124,7 +167,7 @@ impl Kernel {
         }
         debug_assert_eq!(g.state, CpState::Modified, "frozen implies modified");
         // Invalidate all mappings, the initiator's included.
-        self.shootdown(ctx, id, &mut g, Directive::Invalidate, u64::MAX);
+        self.batch_post(ctx, batch, cpage.id(), g, Directive::Invalidate, u64::MAX);
         let me = ctx.core.id();
         for &(as_id, vpn) in &g.bindings {
             if ctx.space().id() == as_id && ctx.pmap.remove(as_id, vpn).is_some() {
@@ -145,7 +188,7 @@ impl Kernel {
         // the next fault consults the policy with the old invalidation
         // history (thawing itself is not an invalidation).
         g.state = CpState::Present1;
-        self.record(me, ctx.core.vtime(), EventKind::Thaw, 0, id.0, 0);
+        self.record(me, ctx.core.vtime(), EventKind::Thaw, 0, cpage.id().0, 0);
         debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
         true
     }

@@ -15,6 +15,7 @@ use crate::coherent::cmap::{CmapEntry, Directive};
 use crate::coherent::cpage::{CpState, Cpage, CpageInner};
 use crate::coherent::policy::{FaultAction, FaultInfo};
 use crate::error::{KernelError, Result};
+use crate::hostprof::HostPhase;
 use crate::ids::CpageId;
 use crate::kernel::Kernel;
 use crate::user::UserCtx;
@@ -37,7 +38,14 @@ impl Kernel {
     /// access. Errors are unrecoverable (bus error / protection at the
     /// virtual-memory level / out of physical memory).
     pub(crate) fn coherent_fault(&self, ctx: &mut UserCtx, va: Va, write: bool) -> Result<()> {
-        let costs = self.config().costs.clone();
+        let span = self.hostprof.begin();
+        let out = self.coherent_fault_inner(ctx, va, write);
+        self.hostprof.end(HostPhase::Fault, span);
+        out
+    }
+
+    fn coherent_fault_inner(&self, ctx: &mut UserCtx, va: Va, write: bool) -> Result<()> {
+        let costs = &self.config().costs;
         let begin = ctx.core.vtime();
         ctx.core.charge(costs.fault_fixed_ns);
         ctx.core.counters_mut().faults += 1;
@@ -106,7 +114,7 @@ impl Kernel {
     /// The virtual-memory layer: resolves `va` to a region, creates the
     /// coherent page on first touch, and installs the Cmap entry.
     fn vm_fault(&self, ctx: &mut UserCtx, va: Va) -> Result<Arc<CmapEntry>> {
-        let costs = self.config().costs.clone();
+        let costs = &self.config().costs;
         ctx.core.charge(costs.vm_fault_ns);
         self.record(
             ctx.core.id(),
@@ -274,7 +282,7 @@ impl Kernel {
             // module-selective shootdown removes every translation into
             // the dead frame; ours is excluded and handled inline.
             self.drop_own_mapping_into(ctx, g, 1u64 << me);
-            self.invalidate_copies(ctx, cpage.id(), g, 1u64 << me)?;
+            self.invalidate_copies(ctx, cpage, g, 1u64 << me)?;
             if g.copies.len() == 1 {
                 g.state = CpState::Present1;
             }
@@ -410,7 +418,7 @@ impl Kernel {
                     // Local copy survives; invalidate and reclaim every
                     // other replica (§3.3).
                     let dying = g.copies_mask & !my_bit;
-                    let escalated = self.invalidate_copies(ctx, cpage.id(), g, dying)?;
+                    let escalated = self.invalidate_copies(ctx, cpage, g, dying)?;
                     g.state = CpState::Modified;
                     g.last_invalidation = Some(ctx.core.vtime());
                     if escalated {
@@ -464,7 +472,7 @@ impl Kernel {
                 if g.state == CpState::PresentPlus {
                     let survivor = g.copies[0];
                     let dying = g.copies_mask & !(1u64 << survivor.module_id());
-                    escalated = self.invalidate_copies(ctx, cpage.id(), g, dying)?;
+                    escalated = self.invalidate_copies(ctx, cpage, g, dying)?;
                     g.last_invalidation = Some(ctx.core.vtime());
                     self.record(
                         me,
@@ -512,21 +520,47 @@ impl Kernel {
     ) -> Result<FaultResolution> {
         let me = ctx.core.id();
         let my_bit = 1u64 << me;
-        // Copy first (sources are stable: either read-only replicas or a
-        // single modified copy whose writers we are about to invalidate —
-        // and no writer can race us while we hold the page lock, because
-        // granting write access requires this lock).
+        // Copy sources are stable: either read-only replicas or a single
+        // modified copy whose writers we are about to invalidate — and no
+        // writer can race us while we hold the page lock, because
+        // granting write access requires this lock.
         let src = g.copies[0];
         let pp = self.alloc_frame(ctx, me, cpage, g.copies_mask)?;
         // Invalidate every translation to the old copies, ours included.
         let dying = g.copies_mask;
-        let out = self.shootdown(ctx, cpage.id(), g, Directive::Invalidate, !my_bit);
+        let mut batch = ctx.take_batch();
+        self.batch_post(
+            ctx,
+            &mut batch,
+            cpage.id(),
+            g,
+            Directive::Invalidate,
+            !my_bit,
+        );
+        cpage.signal().set_epoch();
         if ctx.pmap.remove(ctx.space().id(), vpn).is_some() {
             let asid = ctx.space().asid();
             ctx.core.atc().invalidate(asid, vpn);
         }
-        let src = self.copy_page(ctx, cpage, g, src, pp);
-        self.reclaim_copies(ctx, cpage.id(), g, dying)?;
+        // Overlap the block transfer with the targets' own Pmap updates
+        // when no awaited target holds a writable translation (readers
+        // cannot tear the source); otherwise wait the writers out first.
+        // The virtual-time charges are identical either way — the ack
+        // wait is a real-time handshake that charges nothing — so the
+        // overlap is pure host-time overlap.
+        let out;
+        let src = if g.writer_mask & batch.awaited_mask() == 0 {
+            cpage.signal().set_transfer();
+            let src = self.copy_page(ctx, cpage, g, src, pp);
+            cpage.signal().clear_transfer();
+            out = self.batch_flush(ctx, &mut batch);
+            src
+        } else {
+            out = self.batch_flush(ctx, &mut batch);
+            self.copy_page(ctx, cpage, g, src, pp)
+        };
+        ctx.put_batch(batch);
+        self.reclaim_copies(ctx, cpage, g, dying)?;
         g.writer_mask = 0;
         g.remote_map_mask = 0;
         g.add_copy(pp);
@@ -565,6 +599,7 @@ impl Kernel {
             me as u64,
         );
         self.map_page(ctx, entry, vpn, pp, write, g);
+        cpage.signal().clear_epoch();
         Ok(FaultResolution::Migrated)
     }
 
@@ -577,7 +612,7 @@ impl Kernel {
     fn invalidate_copies(
         &self,
         ctx: &mut UserCtx,
-        page: CpageId,
+        cpage: &Cpage,
         g: &mut CpageInner,
         dying: u64,
     ) -> Result<bool> {
@@ -585,8 +620,14 @@ impl Kernel {
         // to hold a remote mapping (§3.1: the target set "is restricted to
         // those that are actually using a mapping for this Cpage").
         let filter = dying | g.remote_map_mask;
-        let out = self.shootdown(ctx, page, g, Directive::InvalidateModules(dying), filter);
-        self.reclaim_copies(ctx, page, g, dying)?;
+        let out = self.shootdown(
+            ctx,
+            cpage.id(),
+            g,
+            Directive::InvalidateModules(dying),
+            filter,
+        );
+        self.reclaim_copies(ctx, cpage, g, dying)?;
         Ok(out.escalated)
     }
 
@@ -594,17 +635,23 @@ impl Kernel {
     fn reclaim_copies(
         &self,
         ctx: &mut UserCtx,
-        page: CpageId,
+        cpage: &Cpage,
         g: &mut CpageInner,
         mask: u64,
     ) -> Result<()> {
-        let dying: Vec<PhysPage> = g
-            .copies
-            .iter()
-            .copied()
-            .filter(|pp| mask & (1u64 << pp.module_id()) != 0)
-            .collect();
-        for pp in dying {
+        // A transfer sourced from this directory must never overlap frame
+        // reclamation: the copy engine could read a frame that is already
+        // back in the free pool.
+        debug_assert!(!cpage.signal().load().transfer());
+        let mut dying = std::mem::take(&mut ctx.scratch.dying);
+        dying.clear();
+        dying.extend(
+            g.copies
+                .iter()
+                .copied()
+                .filter(|pp| mask & (1u64 << pp.module_id()) != 0),
+        );
+        for &pp in &dying {
             g.remove_copy_on(pp.module_id());
             // "Freeing a physical page uses one remote memory read and one
             // write" (§4).
@@ -619,10 +666,12 @@ impl Kernel {
                 ctx.core.vtime(),
                 EventKind::FrameFree,
                 0,
-                page.0,
+                cpage.id().0,
                 pp.module_id() as u64,
             );
         }
+        dying.clear();
+        ctx.scratch.dying = dying;
         Ok(())
     }
 
@@ -680,6 +729,7 @@ impl Kernel {
         writable: bool,
         g: &mut CpageInner,
     ) {
+        let span = self.hostprof.begin();
         let me = ctx.core.id();
         self.charge_refs_local(ctx, self.config().costs.map_refs);
         ctx.pmap
@@ -700,6 +750,7 @@ impl Kernel {
             g.remote_map_mask |= 1u64 << me;
         }
         debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+        self.hostprof.end(HostPhase::Directory, span);
     }
 
     /// Block-transfers the page from a directory copy into the
@@ -709,6 +760,20 @@ impl Kernel {
     /// and to every translation until the copy verifies, so a torn
     /// prefix is never observable. Returns the source actually used.
     fn copy_page(
+        &self,
+        ctx: &mut UserCtx,
+        cpage: &Cpage,
+        g: &CpageInner,
+        src: PhysPage,
+        dst: PhysPage,
+    ) -> PhysPage {
+        let span = self.hostprof.begin();
+        let out = self.copy_page_inner(ctx, cpage, g, src, dst);
+        self.hostprof.end(HostPhase::Transfer, span);
+        out
+    }
+
+    fn copy_page_inner(
         &self,
         ctx: &mut UserCtx,
         cpage: &Cpage,

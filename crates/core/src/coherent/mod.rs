@@ -8,15 +8,19 @@
 //! * [`policy`] — the replication policy family (§4.2),
 //! * `fault` — the coherent page fault handler (§3.3),
 //! * `shootdown` — the NUMA shootdown mechanism (§3.1),
+//! * [`signal`] — lock-free slow-path synchronization flags,
+//! * `scratch` — per-processor allocation-free slow-path pools,
 //! * [`defrost`] — the defrost daemon (§4.2).
 
 pub mod cmap;
 pub mod cpage;
 pub mod defrost;
 pub mod policy;
+pub mod signal;
 
 mod fault;
 pub(crate) mod reclaim;
-mod shootdown;
+pub(crate) mod scratch;
+pub(crate) mod shootdown;
 
 pub use shootdown::ShootdownOutcome;

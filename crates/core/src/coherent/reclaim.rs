@@ -13,10 +13,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use numa_machine::{AccessKind, Va};
+use parking_lot::MutexGuard;
 use platinum_trace::EventKind;
 
 use crate::coherent::cmap::Directive;
-use crate::coherent::cpage::CpState;
+use crate::coherent::cpage::{CpState, CpageInner};
 use crate::error::{KernelError, Result};
 use crate::ids::{CpageId, ObjId};
 use crate::kernel::Kernel;
@@ -45,12 +46,21 @@ impl Kernel {
     /// bound elsewhere.
     ///
     /// Returns [`KernelError::Access`] when no region starts at `va`.
+    ///
+    /// The whole region is shot down as one [coalesced batch]: every
+    /// page's invalidation directive is posted (with the same per-page
+    /// charges, records, and doorbell interrupts as a page-at-a-time
+    /// teardown, so the observable behaviour is identical), and the
+    /// acknowledgment wait runs once at the end instead of once per page.
+    ///
+    /// [coalesced batch]: crate::coherent::shootdown::ShootdownBatch
     pub fn unmap(&self, ctx: &mut UserCtx, va: Va) -> Result<()> {
         let space = Arc::clone(ctx.space());
         let region = space.unmap_region(va).ok_or(KernelError::Access(
             numa_machine::AccessErr::NoTranslation(va),
         ))?;
         let me = ctx.core.id();
+        let mut items = Vec::new();
         for off in 0..region.pages {
             let vpn = region.vpn_start + off as u64;
             let Some(entry) = space.cmap().remove(vpn) else {
@@ -59,31 +69,50 @@ impl Kernel {
             let Some(cpage) = self.cpages.get(entry.cpage) else {
                 continue;
             };
-            let mut g = self.lock_cpage(ctx, &cpage);
-            g.bindings.retain(|&(a, v)| !(a == space.id() && v == vpn));
+            items.push((vpn, entry, cpage));
+        }
+        // Take the page locks in page-id order — two concurrent
+        // multi-page initiators must not acquire in conflicting orders —
+        // but process in region order, which is what a page-at-a-time
+        // teardown charges. Every guard is held until the flush, so no
+        // fault can observe the half-torn region.
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_unstable_by_key(|&i| items[i].2.id());
+        let mut guards: Vec<Option<MutexGuard<CpageInner>>> = Vec::new();
+        guards.resize_with(items.len(), || None);
+        for &i in &order {
+            guards[i] = Some(self.lock_cpage(ctx, &items[i].2));
+        }
+        let mut batch = ctx.take_batch();
+        for (i, (vpn, entry, cpage)) in items.iter().enumerate() {
+            let g = guards[i].as_mut().expect("locked above");
+            g.bindings.retain(|&(a, v)| !(a == space.id() && v == *vpn));
             // Invalidate every translation installed through this
             // binding. Message-based, like any mapping restriction; the
             // directive is posted to this space's queue so only this
             // space's translations die.
             let targets = entry.refs() & !(1u64 << me);
             if targets != 0 {
-                self.shootdown_one_space(
+                self.batch_post_space(
                     ctx,
-                    entry.cpage,
+                    &mut batch,
+                    cpage.id(),
                     &space,
-                    vpn,
+                    *vpn,
                     Directive::Invalidate,
                     targets,
                 );
             }
-            if ctx.pmap.remove(space.id(), vpn).is_some() {
+            if ctx.pmap.remove(space.id(), *vpn).is_some() {
                 let asid = space.asid();
-                ctx.core.atc().invalidate(asid, vpn);
+                ctx.core.atc().invalidate(asid, *vpn);
             }
             g.writer_mask = 0;
             g.remote_map_mask = 0;
             self.charge_refs(ctx, space.home(), self.config().costs.post_msg_refs);
         }
+        self.batch_flush(ctx, &mut batch);
+        ctx.put_batch(batch);
         Ok(())
     }
 
@@ -170,7 +199,7 @@ impl Kernel {
             self.shootdown(
                 ctx,
                 id,
-                &mut g,
+                &g,
                 Directive::InvalidateModules(victim_mask),
                 filter,
             );
@@ -233,61 +262,6 @@ impl Kernel {
                         e.clear_ref(ctx.core.id());
                     }
                 }
-            }
-        }
-    }
-
-    /// Posts a shootdown message to a single space (used by unmap, where
-    /// only one binding is dying).
-    fn shootdown_one_space(
-        &self,
-        ctx: &mut UserCtx,
-        page: CpageId,
-        space: &crate::AddressSpace,
-        vpn: u64,
-        directive: Directive,
-        targets: u64,
-    ) {
-        use crate::coherent::cmap::CmapMsg;
-        let me = ctx.core.id();
-        let msg = CmapMsg::new(vpn, directive, targets);
-        space.cmap().post(Arc::clone(&msg));
-        let mut awaited = 0u64;
-        let mut dropped: Vec<usize> = Vec::new();
-        for p in numa_machine::procs_in_mask(targets) {
-            if self.slots[p].active.lock().contains(&space.id()) {
-                ctx.core.charge(self.machine().cfg().timing.ipi_ns);
-                self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
-                awaited |= 1u64 << p;
-                if self.ipi_lost(ctx.core.vtime(), p) {
-                    dropped.push(p);
-                    continue;
-                }
-                self.machine().post_ipi(p);
-            }
-        }
-        self.record(
-            me,
-            ctx.core.vtime(),
-            EventKind::ShootdownInit,
-            0,
-            page.0,
-            u64::from(targets.count_ones()),
-        );
-        if !dropped.is_empty() {
-            // Unmap has no degraded mode to escalate to; the ladder's
-            // forced final delivery is enough to guarantee progress.
-            self.resolve_dropped_acks(ctx, page.0, &dropped);
-        }
-        let mut spins = 0u32;
-        while msg.pending() & awaited != 0 {
-            if ctx.core.take_ipi() {
-                ctx.drain_messages();
-            }
-            std::hint::spin_loop();
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(8) {
-                std::thread::yield_now();
             }
         }
     }

@@ -16,6 +16,20 @@
 //! space activated, even if that processor has never referenced the
 //! page"; the [`ShootdownMode::SharedPmapStall`] comparator models that
 //! behaviour for the §4 measurement.
+//!
+//! # Batching
+//!
+//! Multi-page invalidations (the defrost daemon's thaw pass, region
+//! unmap) go through a [`ShootdownBatch`]: directives for many pages are
+//! posted up front — with exactly the per-page charges, records, and
+//! doorbell interrupts a sequential initiator would issue — and the
+//! acknowledgment wait runs once over the whole set instead of once per
+//! page. The doorbell is a level-triggered flag, so N posts before a
+//! target's next service are one interrupt to it either way, and the wait
+//! itself is a real-time handshake that charges nothing; a batch is
+//! therefore observation-equivalent (virtual times, counters, trace
+//! events) to the same pages shot down one at a time. The proptests at
+//! the bottom of this file pin that equivalence down.
 
 use std::sync::Arc;
 
@@ -26,6 +40,7 @@ use platinum_trace::EventKind;
 
 use crate::coherent::cmap::{CmapMsg, Directive};
 use crate::coherent::cpage::CpageInner;
+use crate::hostprof::HostPhase;
 use crate::ids::CpageId;
 use crate::kernel::{Kernel, ShootdownMode};
 use crate::user::UserCtx;
@@ -33,15 +48,66 @@ use crate::user::UserCtx;
 /// What a shootdown did, for statistics and the §4 micro-benchmarks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShootdownOutcome {
-    /// Distinct processors that must eventually apply the change.
+    /// Distinct processors that must eventually apply the change, summed
+    /// per page.
     pub targets: u32,
     /// Interprocessor interrupts actually sent (targets with the space
     /// active, or in Mach mode every active processor).
     pub ipis: u32,
+    /// Pages whose directives this operation posted (1 for a plain
+    /// shootdown; the batch clients post many).
+    pub pages: u32,
+    /// Acknowledgment-wait rounds performed: 1 when any active target had
+    /// to be awaited, else 0. A batch waits once for all its pages, so
+    /// `rounds < pages` is the coalescing win.
+    pub rounds: u32,
     /// Whether an injected dropped-ack ladder exhausted its retry budget;
     /// callers that leave the page in the modified state react by
     /// freezing it (the paper's own degraded mode).
     pub escalated: bool,
+}
+
+/// An in-flight multi-page shootdown: the posted messages awaiting
+/// acknowledgment and the accumulated accounting.
+///
+/// One batch lives in each processor's [`FaultScratch`] and is taken with
+/// [`UserCtx::take_batch`] for the duration of an operation, so the
+/// steady state posts and flushes without heap allocation. Clients call
+/// [`Kernel::batch_post`] (or [`Kernel::batch_post_space`]) once per
+/// page — interleaving their own per-page directory updates, which is
+/// safe because they hold every affected page lock until the flush — and
+/// then [`Kernel::batch_flush`] exactly once.
+///
+/// [`FaultScratch`]: crate::coherent::scratch::FaultScratch
+#[derive(Default)]
+pub(crate) struct ShootdownBatch {
+    /// Posted messages and, for each, the mask of *active* targets the
+    /// flush must wait on.
+    posted: Vec<(Arc<CmapMsg>, u64)>,
+    /// Per-page scratch for targets whose IPI was dropped by fault
+    /// injection; drained by the recovery ladder within each post.
+    dropped: Vec<usize>,
+    targets: u32,
+    ipis: u32,
+    pages: u32,
+    escalated: bool,
+}
+
+impl ShootdownBatch {
+    /// Union of the active-target masks the flush will wait on.
+    pub(crate) fn awaited_mask(&self) -> u64 {
+        self.posted.iter().fold(0, |acc, (_, a)| acc | a)
+    }
+
+    /// Resets the accounting and buffers for reuse, keeping capacity.
+    fn clear(&mut self) {
+        self.posted.clear();
+        self.dropped.clear();
+        self.targets = 0;
+        self.ipis = 0;
+        self.pages = 0;
+        self.escalated = false;
+    }
 }
 
 impl Kernel {
@@ -52,48 +118,77 @@ impl Kernel {
     /// mappings inline.
     ///
     /// Blocks (polling its own IPI doorbell, so concurrent initiators
-    /// cannot deadlock) until every *active* target acknowledged, then
-    /// advances the initiator's clock to the latest acknowledgment time.
-    /// After return, no processor can use a translation the directive
-    /// removed or restricted.
+    /// cannot deadlock) until every *active* target acknowledged. After
+    /// return, no processor can use a translation the directive removed
+    /// or restricted. A plain shootdown is a batch of one page.
     pub(crate) fn shootdown(
         &self,
         ctx: &mut UserCtx,
         page: CpageId,
-        g: &mut CpageInner,
+        g: &CpageInner,
         directive: Directive,
         filter: u64,
     ) -> ShootdownOutcome {
+        let mut batch = ctx.take_batch();
+        self.batch_post(ctx, &mut batch, page, g, directive, filter);
+        let out = self.batch_flush(ctx, &mut batch);
+        ctx.put_batch(batch);
+        out
+    }
+
+    /// Posts `directive` for one page into `batch`: one message per bound
+    /// address space, the per-page reference charges, the doorbell
+    /// interrupts to active targets, the `ShootdownInit` record, and any
+    /// dropped-ack recovery ladder — everything a sequential shootdown
+    /// does except the acknowledgment wait, which [`Kernel::batch_flush`]
+    /// performs once for the whole batch.
+    pub(crate) fn batch_post(
+        &self,
+        ctx: &mut UserCtx,
+        batch: &mut ShootdownBatch,
+        page: CpageId,
+        g: &CpageInner,
+        directive: Directive,
+        filter: u64,
+    ) {
+        let span = self.hostprof.begin();
         let me = ctx.core.id();
         let my_bit = 1u64 << me;
-        let costs = self.config().costs.clone();
+        let costs = &self.config().costs;
         let mach_mode = self.config().shootdown == ShootdownMode::SharedPmapStall;
 
-        let mut posted: Vec<(Arc<CmapMsg>, u64)> = Vec::new();
         let mut all_targets = 0u64;
-        let mut ipis = 0u32;
-        let mut dropped: Vec<usize> = Vec::new();
+        batch.dropped.clear();
 
-        for &(as_id, vpn) in &g.bindings {
-            let Ok(space) = self.space(as_id) else {
+        for bi in 0..g.bindings.len() {
+            let (as_id, vpn) = g.bindings[bi];
+            // The faulting space is almost always the bound one; skip the
+            // registry on that path.
+            let space = if as_id == ctx.space().id() {
+                Arc::clone(ctx.space())
+            } else {
+                match self.space(as_id) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                }
+            };
+            let Some(refs) = space.cmap().refs_of(vpn) else {
                 continue;
             };
-            let Some(entry) = space.cmap().entry(vpn) else {
-                continue;
-            };
-            let targets = entry.refs() & filter & !my_bit;
+            let targets = refs & filter & !my_bit;
             if targets == 0 {
                 continue;
             }
             all_targets |= targets;
-            let msg = CmapMsg::new(vpn, directive, targets);
+            let msg = ctx.alloc_msg(vpn, directive, targets);
             self.charge_refs_at(ctx, space.home(), costs.post_msg_refs, AccessKind::Write);
             space.cmap().post(Arc::clone(&msg));
 
             // Interrupt the targets that have the space active; the rest
-            // will apply the change on activation. The slot mutex orders
-            // this check against concurrent (de)activation: whoever sees
-            // the other's effect first, the message is never missed.
+            // will apply the change on activation. The activity word's
+            // ordering pairs this check against concurrent
+            // (de)activation: whoever sees the other's effect first, the
+            // message is never missed.
             let mut awaited = 0u64;
             if mach_mode {
                 // Mach comparator: every processor with the space active
@@ -102,15 +197,15 @@ impl Kernel {
                     if p == me {
                         continue;
                     }
-                    if self.slots[p].active.lock().contains(&as_id) {
+                    if self.slots[p].active.is_active(as_id.0) {
                         ctx.core
                             .charge(self.machine().cfg().timing.ipi_ns + costs.mach_stall_extra_ns);
                         self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
-                        ipis += 1;
+                        batch.ipis += 1;
                         if targets & (1u64 << p) != 0 {
                             awaited |= 1u64 << p;
                             if self.ipi_lost(ctx.core.vtime(), p) {
-                                dropped.push(p);
+                                batch.dropped.push(p);
                                 continue;
                             }
                         }
@@ -119,23 +214,79 @@ impl Kernel {
                 }
             } else {
                 for p in procs_in_mask(targets) {
-                    if self.slots[p].active.lock().contains(&as_id) {
+                    if self.slots[p].active.is_active(as_id.0) {
                         ctx.core.charge(self.machine().cfg().timing.ipi_ns);
                         self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
-                        ipis += 1;
+                        batch.ipis += 1;
                         awaited |= 1u64 << p;
                         if self.ipi_lost(ctx.core.vtime(), p) {
-                            dropped.push(p);
+                            batch.dropped.push(p);
                             continue;
                         }
                         self.machine().post_ipi(p);
                     }
                 }
             }
-            posted.push((msg, awaited));
+            batch.posted.push((msg, awaited));
         }
 
-        // Counted per shootdown call, like the IPIs above are counted per
+        self.finish_post(ctx, batch, page, directive, all_targets);
+        self.hostprof.end(HostPhase::Shootdown, span);
+    }
+
+    /// Posts `directive` for one page to a *single* address space with an
+    /// explicit target mask — the unmap path, where the Cmap entry and
+    /// the binding are already torn down and only this space's
+    /// translations die.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn batch_post_space(
+        &self,
+        ctx: &mut UserCtx,
+        batch: &mut ShootdownBatch,
+        page: CpageId,
+        space: &crate::vm::space::AddressSpace,
+        vpn: u64,
+        directive: Directive,
+        targets: u64,
+    ) {
+        let span = self.hostprof.begin();
+        let me = ctx.core.id();
+        batch.dropped.clear();
+        let msg = ctx.alloc_msg(vpn, directive, targets);
+        space.cmap().post(Arc::clone(&msg));
+        let mut awaited = 0u64;
+        for p in procs_in_mask(targets) {
+            if self.slots[p].active.is_active(space.id().0) {
+                ctx.core.charge(self.machine().cfg().timing.ipi_ns);
+                self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
+                batch.ipis += 1;
+                awaited |= 1u64 << p;
+                if self.ipi_lost(ctx.core.vtime(), p) {
+                    batch.dropped.push(p);
+                    continue;
+                }
+                self.machine().post_ipi(p);
+            }
+        }
+        batch.posted.push((msg, awaited));
+        self.finish_post(ctx, batch, page, directive, targets);
+        self.hostprof.end(HostPhase::Shootdown, span);
+    }
+
+    /// Shared tail of a per-page post: the `ShootdownInit` record and the
+    /// dropped-ack recovery ladder. The ladder runs here — inside the
+    /// page's post, exactly where a sequential shootdown runs it — so its
+    /// timeout and retry charges land at the same virtual times whether
+    /// or not the page is part of a larger batch.
+    fn finish_post(
+        &self,
+        ctx: &mut UserCtx,
+        batch: &mut ShootdownBatch,
+        page: CpageId,
+        directive: Directive,
+        all_targets: u64,
+    ) {
+        // Counted per shootdown page, like the IPIs above are counted per
         // interrupt: the ShootdownInit count is the number of shootdown
         // operations initiated, whether or not any target needed work.
         let code = match directive {
@@ -144,19 +295,36 @@ impl Kernel {
             Directive::RestrictToRead => 2,
         };
         self.record(
-            me,
+            ctx.core.id(),
             ctx.core.vtime(),
             EventKind::ShootdownInit,
             code,
             page.0,
             u64::from(all_targets.count_ones()),
         );
+        batch.targets += all_targets.count_ones();
+        batch.pages += 1;
 
-        // Resolve any IPIs lost to fault injection before blocking: the
-        // ladder ends with a forced delivery, so the wait below can never
-        // hang on a dropped interrupt.
-        let escalated = !dropped.is_empty() && self.resolve_dropped_acks(ctx, page.0, &dropped);
+        // Resolve any IPIs lost to fault injection before moving on: the
+        // ladder ends with a forced delivery, so the flush's wait can
+        // never hang on a dropped interrupt.
+        if !batch.dropped.is_empty() {
+            let mut dropped = std::mem::take(&mut batch.dropped);
+            batch.escalated |= self.resolve_dropped_acks(ctx, page.0, &dropped);
+            dropped.clear();
+            batch.dropped = dropped;
+        }
+    }
 
+    /// Completes the batch: waits until every awaited target acknowledged
+    /// every posted message, then returns the accumulated outcome and
+    /// resets the batch for reuse.
+    pub(crate) fn batch_flush(
+        &self,
+        ctx: &mut UserCtx,
+        batch: &mut ShootdownBatch,
+    ) -> ShootdownOutcome {
+        let span = self.hostprof.begin();
         // Wait for the active targets. Poll our own doorbell throughout:
         // another initiator may be shooting *us* down at the same time,
         // and servicing it is what breaks the symmetry.
@@ -166,9 +334,15 @@ impl Kernel {
         // virtual-time cost: on the real machine the interrupt reaches
         // the target within ~7 us no matter what it is executing, so the
         // initiator's clock is charged the IPI cost above and is NOT
-        // dragged to the target's (skewed) clock.
-        for (msg, awaited) in &posted {
+        // dragged to the target's (skewed) clock. Waiting once for many
+        // pages is therefore observation-equivalent to waiting after
+        // each, and it overlaps every target's handler with every other's.
+        let mut rounds = 0u32;
+        for (msg, awaited) in &batch.posted {
             let mut spins = 0u32;
+            if msg.pending() & awaited != 0 {
+                rounds = 1;
+            }
             while msg.pending() & awaited != 0 {
                 if ctx.core.take_ipi() {
                     ctx.drain_messages();
@@ -180,12 +354,16 @@ impl Kernel {
                 }
             }
         }
-
-        ShootdownOutcome {
-            targets: all_targets.count_ones(),
-            ipis,
-            escalated,
-        }
+        let out = ShootdownOutcome {
+            targets: batch.targets,
+            ipis: batch.ipis,
+            pages: batch.pages,
+            rounds,
+            escalated: batch.escalated,
+        };
+        batch.clear();
+        self.hostprof.end(HostPhase::Shootdown, span);
+        out
     }
 
     /// Fault hook: decides whether the shootdown IPI just sent to
@@ -204,9 +382,6 @@ impl Kernel {
     /// through or the retry budget is exhausted — at which point delivery
     /// is forced (the plan injects nothing at or past `max_retries`, so
     /// the protocol stays live) and the ladder reports escalation.
-    ///
-    /// Shared by [`Kernel::shootdown`] and the teardown path's
-    /// single-space shootdown (`crate::coherent::reclaim`).
     pub(crate) fn resolve_dropped_acks(
         &self,
         ctx: &mut UserCtx,
@@ -270,5 +445,330 @@ impl Kernel {
     ) {
         ctx.core
             .charge_word_block(PhysPage::new(module, 0), kind, u64::from(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use numa_machine::{AccessCounters, Machine, MachineConfig, Mem};
+    use parking_lot::MutexGuard;
+    use platinum_trace::{TraceConfig, Tracer};
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::coherent::cpage::Cpage;
+    use crate::kernel::KernelConfig;
+    use crate::{FaultPlan, PlatinumPolicy, Rights, StatsSnapshot};
+
+    /// A randomized shootdown scenario: which processors read which
+    /// pages beforehand (the reference masks), which targets are
+    /// suspended during the shootdown (lazy application) vs. active
+    /// (interrupted and awaited), which distinct pages are shot down in
+    /// what order, and with which directive and shootdown mode.
+    #[derive(Clone, Debug)]
+    struct Scenario {
+        procs: usize,
+        pages: usize,
+        readers: Vec<u64>,
+        suspended: u64,
+        shoot: Vec<usize>,
+        restrict: bool,
+        mach_mode: bool,
+        inject_seed: Option<u64>,
+    }
+
+    impl Scenario {
+        /// Normalizes raw generator output: masks clipped to the
+        /// processor count, the initiator (processor 0) never suspended,
+        /// and the shoot list deduplicated — a batch posts each page at
+        /// most once, exactly like its real clients (region unmap, the
+        /// defrost thaw pass) iterating distinct pages.
+        #[allow(clippy::too_many_arguments)]
+        fn normalize(
+            procs: usize,
+            pages: usize,
+            readers: Vec<u64>,
+            suspended: u64,
+            shoot: Vec<u64>,
+            restrict: bool,
+            mach_mode: bool,
+            inject_seed: Option<u64>,
+        ) -> Self {
+            let pmask = (1u64 << procs) - 1;
+            let readers = (0..pages)
+                .map(|i| readers[i % readers.len()] & pmask)
+                .collect();
+            let mut seen = vec![false; pages];
+            let mut dedup = Vec::new();
+            for &raw in &shoot {
+                let p = (raw % pages as u64) as usize;
+                if !seen[p] {
+                    seen[p] = true;
+                    dedup.push(p);
+                }
+            }
+            Scenario {
+                procs,
+                pages,
+                readers,
+                suspended: suspended & pmask & !1,
+                shoot: dedup,
+                restrict,
+                mach_mode,
+                inject_seed,
+            }
+        }
+    }
+
+    /// Everything two runs must agree on: per-processor clocks and
+    /// access counters, the kernel's protocol counters, the per-page
+    /// reference masks left in the directory, and the full trace as a
+    /// multiset of (proc, vtime, kind, code, page, arg) events.
+    #[derive(Debug, PartialEq)]
+    struct Obs {
+        vtimes: Vec<u64>,
+        counters: Vec<AccessCounters>,
+        stats: StatsSnapshot,
+        refs: Vec<(usize, u64)>,
+        events: Vec<(u16, u64, u8, u8, u64, u64)>,
+        outcome: ShootdownOutcome,
+    }
+
+    /// Runs one scenario end to end, shooting the pages either as one
+    /// coalesced batch or one page at a time, and returns the combined
+    /// observation. Setup (mapping, replication reads, suspensions) is
+    /// identical single-threaded code in both modes; active targets ack
+    /// from real service threads, as in a live run.
+    fn run(sc: &Scenario, batched: bool) -> Obs {
+        let machine = Machine::new(MachineConfig {
+            nodes: sc.procs,
+            frames_per_node: 64,
+            skew_window_ns: None,
+            fast_path: true,
+            ..MachineConfig::default()
+        })
+        .unwrap();
+        let kernel = Kernel::with_config(
+            machine,
+            Box::new(PlatinumPolicy::paper_default()),
+            KernelConfig {
+                shootdown: if sc.mach_mode {
+                    ShootdownMode::SharedPmapStall
+                } else {
+                    ShootdownMode::PerProcessorPmap
+                },
+                faults: sc
+                    .inject_seed
+                    .map(|seed| std::sync::Arc::new(FaultPlan::chaos(seed, 80_000))),
+                ..KernelConfig::default()
+            },
+        );
+        let tracer = Tracer::new(TraceConfig::default());
+        assert!(kernel.install_tracer(Arc::clone(&tracer)));
+        let space = kernel.create_space();
+        let object = kernel.create_object(sc.pages);
+        let va = space.map_anywhere(object, Rights::RW).unwrap();
+        let page_bytes = (kernel.machine().cfg().words_per_page() * 4) as u64;
+        let page_va = |i: usize| va + i as u64 * page_bytes;
+
+        let mut ctxs: Vec<Option<UserCtx>> = (0..sc.procs)
+            .map(|p| Some(kernel.attach(Arc::clone(&space), p, 0).unwrap()))
+            .collect();
+
+        // Replication sweep in deterministic processor-major order.
+        for (p, slot) in ctxs.iter_mut().enumerate() {
+            let ctx = slot.as_mut().unwrap();
+            for (i, &mask) in sc.readers.iter().enumerate() {
+                if mask & (1u64 << p) != 0 {
+                    ctx.read(page_va(i));
+                }
+            }
+        }
+        for p in procs_in_mask(sc.suspended) {
+            ctxs[p].as_mut().unwrap().suspend();
+        }
+
+        let directive = if sc.restrict {
+            Directive::RestrictToRead
+        } else {
+            Directive::Invalidate
+        };
+        let mut ctx0 = ctxs[0].take().unwrap();
+        let mut movers: Vec<(usize, UserCtx)> = (1..sc.procs)
+            .filter(|p| sc.suspended & (1u64 << p) == 0)
+            .map(|p| (p, ctxs[p].take().unwrap()))
+            .collect();
+
+        let stop = AtomicBool::new(false);
+        let outcome = std::thread::scope(|s| {
+            let stop = &stop;
+            let handles: Vec<(usize, std::thread::ScopedJoinHandle<UserCtx>)> = movers
+                .drain(..)
+                .map(|(p, mut c)| {
+                    (
+                        p,
+                        s.spawn(move || {
+                            let mut spins = 0u32;
+                            while !stop.load(Ordering::Acquire) {
+                                c.service_ipis();
+                                std::hint::spin_loop();
+                                spins = spins.wrapping_add(1);
+                                if spins.is_multiple_of(64) {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            c
+                        }),
+                    )
+                })
+                .collect();
+
+            let cpages: Vec<Arc<Cpage>> = sc
+                .shoot
+                .iter()
+                .filter_map(|&i| kernel.cpage_for_va(&space, page_va(i)))
+                .collect();
+            let outcome = if batched {
+                // Locks are taken in page-id order (the multi-page
+                // initiator rule) and held until the flush.
+                let mut order: Vec<usize> = (0..cpages.len()).collect();
+                order.sort_unstable_by_key(|&i| cpages[i].id());
+                let mut guards: Vec<Option<MutexGuard<CpageInner>>> = Vec::new();
+                guards.resize_with(cpages.len(), || None);
+                for &i in &order {
+                    guards[i] = Some(kernel.lock_cpage(&mut ctx0, &cpages[i]));
+                }
+                let mut batch = ctx0.take_batch();
+                for (i, cpage) in cpages.iter().enumerate() {
+                    let g = guards[i].as_ref().expect("locked above");
+                    kernel.batch_post(&mut ctx0, &mut batch, cpage.id(), g, directive, !0);
+                }
+                let out = kernel.batch_flush(&mut ctx0, &mut batch);
+                ctx0.put_batch(batch);
+                out
+            } else {
+                let mut sum = ShootdownOutcome::default();
+                for cpage in &cpages {
+                    let g = kernel.lock_cpage(&mut ctx0, cpage);
+                    let out = kernel.shootdown(&mut ctx0, cpage.id(), &g, directive, !0);
+                    sum.targets += out.targets;
+                    sum.ipis += out.ipis;
+                    sum.pages += out.pages;
+                    sum.rounds += out.rounds;
+                    sum.escalated |= out.escalated;
+                }
+                sum
+            };
+            stop.store(true, Ordering::Release);
+            for (p, h) in handles {
+                ctxs[p] = Some(h.join().unwrap());
+            }
+            outcome
+        });
+        ctxs[0] = Some(ctx0);
+
+        // Suspended targets apply the queued directives on resume.
+        for p in procs_in_mask(sc.suspended) {
+            ctxs[p].as_mut().unwrap().resume();
+        }
+
+        let refs = (0..sc.pages)
+            .filter_map(|i| {
+                space
+                    .cmap()
+                    .refs_of(space.vpn_of(page_va(i)))
+                    .map(|r| (i, r))
+            })
+            .collect();
+        let mut events: Vec<_> = tracer
+            .snapshot()
+            .events
+            .iter()
+            .map(|e| (e.proc, e.vtime, e.kind as u8, e.code, e.page, e.arg))
+            .collect();
+        events.sort_unstable();
+        Obs {
+            vtimes: ctxs.iter().map(|c| c.as_ref().unwrap().vtime()).collect(),
+            counters: ctxs
+                .iter()
+                .map(|c| c.as_ref().unwrap().counters())
+                .collect(),
+            stats: kernel.stats().snapshot(),
+            refs,
+            events,
+            outcome,
+        }
+    }
+
+    fn assert_equivalent(sc: &Scenario) -> Result<(), TestCaseError> {
+        let seq = run(sc, false);
+        let bat = run(sc, true);
+        prop_assert_eq!(&bat.vtimes, &seq.vtimes, "virtual times diverged: {:?}", sc);
+        prop_assert_eq!(
+            &bat.counters,
+            &seq.counters,
+            "access counters diverged: {:?}",
+            sc
+        );
+        prop_assert_eq!(&bat.stats, &seq.stats, "kernel counters diverged: {:?}", sc);
+        prop_assert_eq!(&bat.refs, &seq.refs, "directory refs diverged: {:?}", sc);
+        prop_assert_eq!(&bat.events, &seq.events, "trace events diverged: {:?}", sc);
+        // The per-page accounting must agree; the wait rounds are the
+        // one deliberate difference — a batch waits at most once.
+        prop_assert_eq!(bat.outcome.targets, seq.outcome.targets);
+        prop_assert_eq!(bat.outcome.ipis, seq.outcome.ipis);
+        prop_assert_eq!(bat.outcome.pages, seq.outcome.pages);
+        prop_assert_eq!(bat.outcome.escalated, seq.outcome.escalated);
+        prop_assert!(bat.outcome.rounds <= 1, "a batch waits at most once");
+        prop_assert!(bat.outcome.rounds <= seq.outcome.rounds);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// The tentpole equivalence: a coalesced batch over N distinct
+        /// pages leaves every observable — virtual times, access
+        /// counters, kernel statistics, directory reference masks, and
+        /// the trace-event multiset — bit-identical to shooting the same
+        /// pages down one at a time, across both shootdown modes and
+        /// arbitrary mixes of active and suspended targets.
+        #[test]
+        fn batch_is_observation_equivalent_to_sequential_shootdowns(
+            procs in 2usize..5,
+            pages in 1usize..7,
+            readers in proptest::collection::vec(any::<u64>(), 1..7),
+            suspended in any::<u64>(),
+            shoot in proptest::collection::vec(any::<u64>(), 1..10),
+            restrict in any::<bool>(),
+            mach_mode in any::<bool>(),
+        ) {
+            let sc = Scenario::normalize(
+                procs, pages, readers, suspended, shoot, restrict, mach_mode, None,
+            );
+            assert_equivalent(&sc)?;
+        }
+
+        /// The same equivalence under dropped-ack fault injection: the
+        /// recovery ladder runs inside each page's post — at the same
+        /// virtual times whether or not the page is part of a larger
+        /// batch — so injected timeouts, retries, and escalations do not
+        /// break the coalescing equivalence either.
+        #[test]
+        fn batch_equivalence_survives_dropped_ack_injection(
+            procs in 2usize..4,
+            pages in 1usize..5,
+            readers in proptest::collection::vec(any::<u64>(), 1..5),
+            suspended in any::<u64>(),
+            shoot in proptest::collection::vec(any::<u64>(), 1..8),
+            seed in any::<u64>(),
+        ) {
+            let sc = Scenario::normalize(
+                procs, pages, readers, suspended, shoot, false, false, Some(seed),
+            );
+            assert_equivalent(&sc)?;
+        }
     }
 }

@@ -1,10 +1,9 @@
 //! The kernel object: registries, configuration, and processor slots.
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use parking_lot::{MutexGuard, RwLock};
 
 use numa_machine::{Machine, ProcCore};
 use platinum_faults::FaultPlan;
@@ -14,8 +13,10 @@ use crate::coherent::cpage::{Cpage, CpageInner, CpageTable};
 use crate::coherent::defrost::DefrostState;
 use crate::coherent::policy::{PlacementPolicy, PlatinumPolicy, PolicyKind};
 use crate::coherent::reclaim::ReclaimState;
+use crate::coherent::signal::ActiveSpace;
 use crate::costs::KernelCosts;
 use crate::error::{KernelError, Result};
+use crate::hostprof::HostProf;
 use crate::ids::{AsId, ObjId, PortId, ThreadId};
 use crate::port::Port;
 use crate::stats::{KernelStats, MemoryReport};
@@ -87,10 +88,11 @@ pub(crate) struct ProcSlot {
     /// Whether a thread is bound to the processor (the simulator runs at
     /// most one thread per processor; see DESIGN.md).
     pub occupied: AtomicBool,
-    /// Address spaces active on this processor. The mutex also provides
-    /// the ordering that makes the post-message-then-check-activity
-    /// handshake race-free.
-    pub active: Mutex<HashSet<AsId>>,
+    /// The address space active on this processor, as a lock-free word.
+    /// Its sequentially-consistent orderings carry the
+    /// post-message-then-check-activity handshake that a mutex provided
+    /// before; see [`ActiveSpace`] for the argument.
+    pub active: ActiveSpace,
 }
 
 /// The PLATINUM kernel.
@@ -112,6 +114,7 @@ pub struct Kernel {
     pub(crate) defrost: DefrostState,
     pub(crate) reclaim: ReclaimState,
     pub(crate) threads: ThreadTable,
+    pub(crate) hostprof: HostProf,
 }
 
 impl Kernel {
@@ -143,7 +146,7 @@ impl Kernel {
         let slots = (0..machine.nprocs())
             .map(|_| ProcSlot {
                 occupied: AtomicBool::new(false),
-                active: Mutex::new(HashSet::new()),
+                active: ActiveSpace::new(),
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
@@ -162,6 +165,7 @@ impl Kernel {
             defrost,
             reclaim,
             threads: ThreadTable::new(),
+            hostprof: HostProf::default(),
         })
     }
 
@@ -303,6 +307,12 @@ impl Kernel {
     /// Kernel-wide event counters.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// Host-time slow-path phase profiler (disabled until
+    /// [`HostProf::enable`] is called).
+    pub fn host_prof(&self) -> &HostProf {
+        &self.hostprof
     }
 
     /// Installs a protocol-event tracer (delegates to the machine, which

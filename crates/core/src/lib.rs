@@ -52,6 +52,8 @@
 pub mod coherent;
 pub mod costs;
 pub mod error;
+pub(crate) mod hash;
+pub mod hostprof;
 pub mod ids;
 pub mod pmap;
 pub mod port;

@@ -12,10 +12,9 @@
 //! Pmap from the Cmap synchronization handler — which is exactly the
 //! property that lets PLATINUM avoid Mach's shootdown races.
 
-use std::collections::HashMap;
-
 use numa_machine::{PhysPage, Vpn};
 
+use crate::hash::FastMap;
 use crate::ids::AsId;
 
 /// One cached virtual-to-physical translation.
@@ -31,7 +30,7 @@ pub struct PmapEntry {
 /// A processor's private physical map.
 #[derive(Default)]
 pub struct Pmap {
-    entries: HashMap<(AsId, Vpn), PmapEntry>,
+    entries: FastMap<(AsId, Vpn), PmapEntry>,
 }
 
 impl Pmap {

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use numa_machine::{AccessErr, AccessKind, FastPath, Frame, Mem, PhysPage, ProcCore, Va, Vpn};
 use platinum_trace::EventKind;
 
-use crate::coherent::cmap::Directive;
+use crate::coherent::cmap::{CmapMsg, Directive};
+use crate::coherent::scratch::FaultScratch;
+use crate::coherent::shootdown::ShootdownBatch;
 use crate::error::{KernelError, Result};
 use crate::ids::ThreadId;
 use crate::kernel::Kernel;
@@ -35,6 +37,8 @@ pub struct UserCtx {
     /// read on the access fast path.
     asid: u32,
     thread: ThreadId,
+    /// Reusable slow-path buffers; see [`FaultScratch`].
+    pub(crate) scratch: FaultScratch,
 }
 
 impl UserCtx {
@@ -50,6 +54,7 @@ impl UserCtx {
             page_shift,
             asid,
             thread,
+            scratch: FaultScratch::default(),
         };
         ctx.activate_space();
         ctx
@@ -88,7 +93,7 @@ impl UserCtx {
     /// in that address space" (§2.3).
     fn activate_space(&mut self) {
         let id = self.space.id();
-        self.kernel.slots[self.core.id()].active.lock().insert(id);
+        self.kernel.slots[self.core.id()].active.set_active(id.0);
         self.drain_messages();
         self.core.wake();
     }
@@ -98,7 +103,7 @@ impl UserCtx {
     /// initiator waits on a blocked processor.
     fn deactivate_space(&mut self) {
         let id = self.space.id();
-        self.kernel.slots[self.core.id()].active.lock().remove(&id);
+        self.kernel.slots[self.core.id()].active.clear_active(id.0);
         self.drain_messages();
         self.core.set_idle();
     }
@@ -190,13 +195,18 @@ impl UserCtx {
     pub(crate) fn drain_messages(&mut self) {
         let me = self.core.id();
         let space_id = self.space.id();
-        let msgs = self.space.cmap().pending_for(me);
+        let mut msgs = std::mem::take(&mut self.scratch.drained);
+        self.space.cmap().pending_for_into(me, &mut msgs);
         if msgs.is_empty() {
+            self.scratch.drained = msgs;
             return;
         }
-        self.core.counters_mut().ipis_handled += 1;
+        let span = self.kernel.hostprof.begin();
+        // One count per message applied: deterministic however a batched
+        // initiator's posts group into doorbell services.
+        self.core.counters_mut().ipis_handled += msgs.len() as u64;
         let apply_ns = self.kernel.config().costs.apply_msg_ns;
-        for m in msgs {
+        for m in &msgs {
             let code = match m.directive {
                 Directive::Invalidate => 0,
                 Directive::InvalidateModules(_) => 1,
@@ -205,9 +215,7 @@ impl UserCtx {
             match m.directive {
                 Directive::Invalidate => {
                     if self.pmap.remove(space_id, m.vpn).is_some() {
-                        if let Some(e) = self.space.cmap().entry(m.vpn) {
-                            e.clear_ref(me);
-                        }
+                        self.space.cmap().with_entry(m.vpn, |e| e.clear_ref(me));
                     }
                     self.core.atc().invalidate(self.space.asid(), m.vpn);
                 }
@@ -219,9 +227,7 @@ impl UserCtx {
                         .unwrap_or(false);
                     if points_into {
                         self.pmap.remove(space_id, m.vpn);
-                        if let Some(e) = self.space.cmap().entry(m.vpn) {
-                            e.clear_ref(me);
-                        }
+                        self.space.cmap().with_entry(m.vpn, |e| e.clear_ref(me));
                         self.core.atc().invalidate(self.space.asid(), m.vpn);
                     }
                 }
@@ -241,6 +247,31 @@ impl UserCtx {
                 0,
             );
         }
+        msgs.clear();
+        self.scratch.drained = msgs;
+        self.kernel
+            .hostprof
+            .end(crate::hostprof::HostPhase::Directory, span);
+    }
+
+    /// Hands out the processor's shootdown batch for one operation.
+    pub(crate) fn take_batch(&mut self) -> ShootdownBatch {
+        std::mem::take(&mut self.scratch.batch)
+    }
+
+    /// Returns the (flushed) batch so its buffers are reused.
+    pub(crate) fn put_batch(&mut self, batch: ShootdownBatch) {
+        self.scratch.batch = batch;
+    }
+
+    /// Produces a shootdown message from the per-processor pool.
+    pub(crate) fn alloc_msg(
+        &mut self,
+        vpn: Vpn,
+        directive: Directive,
+        targets: u64,
+    ) -> Arc<CmapMsg> {
+        self.scratch.alloc_msg(vpn, directive, targets)
     }
 
     /// Services the IPI doorbell — and nothing else: no access-counter

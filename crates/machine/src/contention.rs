@@ -40,6 +40,99 @@ const BUCKETS: usize = 64;
 const LOAD_BITS: u32 = 40;
 const LOAD_MASK: u64 = (1 << LOAD_BITS) - 1;
 
+/// Exact division by a runtime-invariant u64, via the multiply-shift
+/// scheme of Granlund & Montgomery ("Division by Invariant Integers using
+/// Multiplication", PLDI '94; the round-up variant libdivide ships).
+///
+/// Virtual clocks cross contention buckets every few charges on the slow
+/// path, so the `now / bucket_ns` division runs tens of times per fault
+/// and is the single hottest instruction in the uncontended contention
+/// model. The divider replaces it with a 64x64→128 multiply plus shifts,
+/// returning bit-identical quotients for every `u64` numerator (pinned by
+/// the `divider_matches_hardware_division` test).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Divider {
+    d: u64,
+    magic: u64,
+    shift: u32,
+    /// Power-of-two divisors skip the multiply; `magic` is unused.
+    pow2: bool,
+    /// Round-up magics that overflow 64 bits use the add-indicator
+    /// sequence `q = (((n - mulhi) >> 1) + mulhi) >> shift`.
+    add: bool,
+}
+
+impl Divider {
+    /// Precomputes the magic for `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub(crate) fn new(d: u64) -> Self {
+        assert!(d > 0, "division by zero");
+        if d.is_power_of_two() {
+            return Self {
+                d,
+                magic: 0,
+                shift: d.trailing_zeros(),
+                pow2: true,
+                add: false,
+            };
+        }
+        let floor_log2 = 63 - d.leading_zeros();
+        let pow = 1u128 << (64 + floor_log2);
+        let proposed = (pow / d as u128) as u64;
+        let rem = (pow % d as u128) as u64;
+        let e = d - rem;
+        if e < (1u64 << floor_log2) {
+            // The round-down magic is exact at this shift.
+            Self {
+                d,
+                magic: proposed.wrapping_add(1),
+                shift: floor_log2,
+                pow2: false,
+                add: false,
+            }
+        } else {
+            // Need one more magic bit: fold its overflow into the
+            // add-indicator division sequence.
+            // The doubled magic's 65th bit is implicit: the add-indicator
+            // division sequence reconstructs it, so the overflow of this
+            // doubling is deliberately discarded.
+            let doubled = proposed.wrapping_add(proposed);
+            let (rem2, carry) = rem.overflowing_add(rem);
+            let bump = 1 + u64::from(rem2 >= d || carry);
+            Self {
+                d,
+                magic: doubled.wrapping_add(bump),
+                shift: floor_log2,
+                pow2: false,
+                add: true,
+            }
+        }
+    }
+
+    /// `n / d`, exactly.
+    #[inline(always)]
+    pub(crate) fn div(&self, n: u64) -> u64 {
+        if self.pow2 {
+            return n >> self.shift;
+        }
+        let hi = ((n as u128 * self.magic as u128) >> 64) as u64;
+        if self.add {
+            (((n - hi) >> 1) + hi) >> self.shift
+        } else {
+            hi >> self.shift
+        }
+    }
+
+    /// `n % d`, exactly.
+    #[inline(always)]
+    pub(crate) fn rem(&self, n: u64) -> u64 {
+        n - self.div(n) * self.d
+    }
+}
+
 /// A caller-owned memoization of the bucket containing a virtual clock,
 /// used by [`BucketedResource::reserve_with`] to keep the bucket-index
 /// division off per-access hot paths. The zero value is an always-stale
@@ -66,6 +159,8 @@ pub struct BucketedResource {
     /// previous passes around the ring are detected and reset.
     slots: [AtomicU64; BUCKETS],
     bucket_ns: u64,
+    /// Magic-constant divider for `now / bucket_ns` (see [`Divider`]).
+    bucket_div: Divider,
 }
 
 impl BucketedResource {
@@ -79,14 +174,27 @@ impl BucketedResource {
         Self {
             slots: std::array::from_fn(|_| AtomicU64::new(0)),
             bucket_ns,
+            bucket_div: Divider::new(bucket_ns),
         }
+    }
+
+    /// The virtual-time position of `now` within its bucket
+    /// (`now % bucket_ns`), via the precomputed magic.
+    #[inline(always)]
+    pub fn bucket_into(&self, now: u64) -> u64 {
+        self.bucket_div.rem(now)
     }
 
     /// Reserves `service_ns` of the resource at virtual time `now`;
     /// returns the queueing delay the requester suffers.
     pub fn reserve(&self, now: u64, service_ns: u64) -> u64 {
+        self.reserve_bucket(self.bucket_div.div(now), service_ns)
+    }
+
+    /// [`BucketedResource::reserve`] with the bucket index already in
+    /// hand, for callers walking consecutive buckets.
+    fn reserve_bucket(&self, bucket: u64, service_ns: u64) -> u64 {
         debug_assert!(service_ns <= LOAD_MASK);
-        let bucket = now / self.bucket_ns;
         let slot = (bucket as usize) % BUCKETS;
         let epoch = bucket / BUCKETS as u64;
         let cell = &self.slots[slot];
@@ -179,7 +287,7 @@ impl BucketedResource {
             }
             return self.reserve(now, service_ns);
         }
-        let bucket = now / self.bucket_ns;
+        let bucket = self.bucket_div.div(now);
         *cursor = BucketCursor {
             start: bucket * self.bucket_ns,
             span: self.bucket_ns,
@@ -195,15 +303,17 @@ impl BucketedResource {
     pub fn reserve_span(&self, now: u64, occupancy_ns: u64) -> u64 {
         // The delay is what the *first* bucket imposes; the rest of the
         // occupancy is booked into the following buckets so that later
-        // traffic queues behind it.
-        let delay = self.reserve(now, occupancy_ns.min(self.bucket_ns));
+        // traffic queues behind it. The walk is by bucket index — a
+        // page-sized transfer spans several buckets and the division
+        // per step would otherwise dominate the booking.
+        let mut bucket = self.bucket_div.div(now);
+        let delay = self.reserve_bucket(bucket, occupancy_ns.min(self.bucket_ns));
         let mut remaining = occupancy_ns.saturating_sub(self.bucket_ns);
-        let mut t = (now / self.bucket_ns + 1) * self.bucket_ns;
         while remaining > 0 {
+            bucket += 1;
             let chunk = remaining.min(self.bucket_ns);
-            let _ = self.reserve(t, chunk);
+            let _ = self.reserve_bucket(bucket, chunk);
             remaining -= chunk;
-            t += self.bucket_ns;
         }
         delay
     }
@@ -211,7 +321,7 @@ impl BucketedResource {
     /// The load currently booked in the bucket containing `now`
     /// (diagnostics and tests).
     pub fn load_at(&self, now: u64) -> u64 {
-        let bucket = now / self.bucket_ns;
+        let bucket = self.bucket_div.div(now);
         let slot = (bucket as usize) % BUCKETS;
         let epoch = bucket / BUCKETS as u64;
         let cur = self.slots[slot].load(Ordering::Relaxed);
@@ -226,6 +336,41 @@ impl BucketedResource {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn divider_matches_hardware_division() {
+        // Every divisor class (1, powers of two, round-down magics,
+        // round-up/add-indicator magics, huge divisors) against numerators
+        // spanning the full u64 range. Any mismatch anywhere would skew
+        // every virtual-time delay downstream, so this is exhaustive-ish
+        // by construction: divisors near powers of two on both sides are
+        // exactly where the magic selection changes branch.
+        let mut divisors = vec![1u64, 2, 3, 5, 7, 10, 100_000, u64::MAX, u64::MAX - 1];
+        for k in [1u32, 2, 7, 31, 32, 33, 40, 62, 63] {
+            let p = 1u64 << k;
+            divisors.extend([p, p - 1, p + 1]);
+        }
+        let mut numerators = vec![0u64, 1, 2, 3, u64::MAX, u64::MAX - 1];
+        for k in [1u32, 5, 17, 32, 40, 52, 63] {
+            let p = 1u64 << k;
+            numerators.extend([p - 1, p, p + 1]);
+        }
+        // A deterministic xorshift walk fills in arbitrary patterns.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            numerators.push(x);
+        }
+        for &d in &divisors {
+            let div = Divider::new(d);
+            for &n in &numerators {
+                assert_eq!(div.div(n), n / d, "{n} / {d}");
+                assert_eq!(div.rem(n), n % d, "{n} % {d}");
+            }
+        }
+    }
 
     #[test]
     fn uncontended_stream_sees_no_delay() {

@@ -191,6 +191,13 @@ impl MemoryModule {
         now + self.bus.reserve_with(cursor, now, service_ns)
     }
 
+    /// The position of `now` within its contention bucket
+    /// (`now % bucket_ns`), via the bus divider's precomputed magic.
+    #[inline(always)]
+    pub fn bucket_into(&self, now: u64) -> u64 {
+        self.bus.bucket_into(now)
+    }
+
     /// Reserves the block-transfer engine and the module bus for a
     /// transfer of `occupancy_ns` starting no earlier than `now`.
     /// Returns the transfer's start time.

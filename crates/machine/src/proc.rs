@@ -445,7 +445,7 @@ impl ProcCore {
             // Book only the accesses that fall inside the clock's current
             // contention bucket, so a self-paced stream never re-books a
             // bucket it has already filled.
-            let into = self.vtime % bucket_ns;
+            let into = module.bucket_into(self.vtime);
             let room = (bucket_ns - into).div_ceil(latency.max(1)).max(1);
             let chunk = remaining.min(room);
             let start = module.reserve(self.vtime, service * chunk);

@@ -59,4 +59,4 @@ pub mod replay;
 
 pub use format::{Op, Phase, Rec, RefTrace};
 pub use record::{Capture, RecordingCtx};
-pub use replay::{replay, PhaseOutcome, ReplayOutcome};
+pub use replay::{replay, replay_many, replay_par, PhaseOutcome, ReplayOutcome};

@@ -77,11 +77,8 @@ impl ReplayOutcome {
     }
 }
 
-/// Replays `trace` against `kind` and returns the outcome. The replay is
-/// deterministic: same trace + same policy → identical virtual times and
-/// counters, and a PLATINUM replay of a fresh capture reproduces the
-/// capture run bit for bit.
-pub fn replay(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
+/// Boots a replay machine matching the capture machine.
+fn boot(trace: &RefTrace, kind: PolicyKind) -> Sim {
     let mut mc = MachineConfig::with_nodes(trace.nodes);
     mc.frames_per_node = trace.frames_per_node;
     mc.page_shift = trace.page_shift;
@@ -93,6 +90,15 @@ pub fn replay(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
     for &pages in &trace.zones {
         sim.alloc_zone(pages as usize);
     }
+    sim
+}
+
+/// Replays `trace` against `kind` and returns the outcome. The replay is
+/// deterministic: same trace + same policy → identical virtual times and
+/// counters, and a PLATINUM replay of a fresh capture reproduces the
+/// capture run bit for bit.
+pub fn replay(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
+    let sim = boot(trace, kind);
     let phases = trace
         .phases
         .iter()
@@ -102,6 +108,201 @@ pub fn replay(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
         policy: kind,
         phases,
         kernel: sim.kernel.stats().snapshot(),
+    }
+}
+
+/// Like [`replay`], but hands the op stream between worker threads once
+/// per maximal same-processor *run* instead of once per op.
+///
+/// The recorded global order is load-bearing — it *is* the interleaving
+/// the capture gate picked, and the protocol state (page rights, freezes,
+/// bus buckets) evolves along it — so a replay may never reorder ops
+/// across processors. What it may do is cut the synchronization bill for
+/// honoring that order: the op list is sharded into runs of consecutive
+/// ops from one processor, the shared cursor advances once per run, and a
+/// post-time is published only for the seqs some [`Op::AdvanceDep`]
+/// actually reads (everything else synchronizes through the cursor's
+/// release/acquire chain). Per-op cross-core cursor traffic — the
+/// dominant host cost of replaying long private sweeps — collapses to
+/// one handoff per run, and block ops reuse one per-worker buffer.
+///
+/// The outcome is bit-identical to [`replay`]: same virtual times, same
+/// counters, same kernel statistics (the tests and the `policy_matrix`
+/// self-check assert it).
+pub fn replay_par(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
+    let sim = boot(trace, kind);
+    let phases = trace
+        .phases
+        .iter()
+        .map(|ph| replay_phase_par(&sim, ph))
+        .collect();
+    ReplayOutcome {
+        policy: kind,
+        phases,
+        kernel: sim.kernel.stats().snapshot(),
+    }
+}
+
+/// Replays `trace` under each policy in `kinds` concurrently — one
+/// independent replay machine per host thread — and returns the outcomes
+/// in `kinds` order. Policies are mutually independent, so a policy
+/// tournament scales with host cores; each individual replay uses
+/// [`replay_par`] and is bit-identical to its serial counterpart.
+pub fn replay_many(trace: &RefTrace, kinds: &[PolicyKind]) -> Vec<ReplayOutcome> {
+    let mut out: Vec<Option<ReplayOutcome>> = Vec::new();
+    out.resize_with(kinds.len(), || None);
+    std::thread::scope(|s| {
+        for (&kind, slot) in kinds.iter().zip(out.iter_mut()) {
+            s.spawn(move || {
+                *slot = Some(replay_par(trace, kind));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("replay thread completed"))
+        .collect()
+}
+
+/// The precomputed shard plan for one phase's parallel replay.
+struct ParSchedule {
+    /// Half-open `(start, end)` spans of consecutive same-processor ops.
+    /// A `Detach` always terminates its run.
+    runs: Vec<(usize, usize)>,
+    /// Bit `i` set ⇔ some `AdvanceDep` in the phase reads op `i`'s
+    /// post-time, so the executing worker must publish it.
+    needed: Vec<u64>,
+}
+
+impl ParSchedule {
+    fn build(ph: &Phase) -> Self {
+        let ops = &ph.ops;
+        let mut needed = vec![0u64; ops.len().div_ceil(64)];
+        for r in ops {
+            if let Op::AdvanceDep { seq } = r.op {
+                let s = seq as usize;
+                if s < ops.len() {
+                    needed[s / 64] |= 1 << (s % 64);
+                }
+            }
+        }
+        let mut runs = Vec::new();
+        let mut start = 0;
+        for i in 0..ops.len() {
+            let split = i + 1 == ops.len()
+                || ops[i + 1].proc != ops[i].proc
+                || matches!(ops[i].op, Op::Detach);
+            if split {
+                runs.push((start, i + 1));
+                start = i + 1;
+            }
+        }
+        ParSchedule { runs, needed }
+    }
+
+    fn is_needed(&self, i: usize) -> bool {
+        self.needed[i / 64] >> (i % 64) & 1 == 1
+    }
+}
+
+fn replay_phase_par(sim: &Sim, ph: &Phase) -> PhaseOutcome {
+    let sched = ParSchedule::build(ph);
+    let cursor = AtomicUsize::new(0);
+    let post: Vec<AtomicU64> = (0..ph.ops.len()).map(|_| AtomicU64::new(0)).collect();
+    let mut out: Vec<Option<WorkerStats>> = Vec::new();
+    out.resize_with(ph.workers, || None);
+    std::thread::scope(|s| {
+        let cursor = &cursor;
+        let post = &post;
+        let sched = &sched;
+        for (p, slot) in out.iter_mut().enumerate() {
+            s.spawn(move || {
+                *slot = replay_worker_par(sim, ph, sched, p, cursor, post);
+            });
+        }
+    });
+    let workers: Vec<WorkerStats> = out
+        .into_iter()
+        .map(|w| w.expect("replay worker reached its Detach op"))
+        .collect();
+    PhaseOutcome {
+        label: ph.label.clone(),
+        stats: RunStats { workers },
+    }
+}
+
+/// Drives processor `p` through its runs of the phase's op list, one
+/// cursor handoff per run. Returns once the worker's `Detach` executed.
+fn replay_worker_par(
+    sim: &Sim,
+    ph: &Phase,
+    sched: &ParSchedule,
+    p: usize,
+    cursor: &AtomicUsize,
+    post: &[AtomicU64],
+) -> Option<WorkerStats> {
+    let ops = &ph.ops;
+    let mut ctx: Option<UserCtx> = None;
+    let mut stats = None;
+    let mut block_buf: Vec<u32> = Vec::new();
+    loop {
+        // Wait for the cursor to reach one of our runs, acking shootdowns
+        // (we may be a target of the running op's initiator) meanwhile.
+        let r = {
+            let mut spins = 0u32;
+            loop {
+                let r = cursor.load(Ordering::Acquire);
+                if r >= sched.runs.len() {
+                    // Defensive: a malformed trace may omit our Detach.
+                    return stats;
+                }
+                if ops[sched.runs[r].0].proc as usize == p {
+                    break r;
+                }
+                if let Some(c) = ctx.as_mut() {
+                    c.service_ipis();
+                }
+                std::hint::spin_loop();
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                }
+            }
+        };
+        let (start, end) = sched.runs[r];
+        for i in start..end {
+            match ops[i].op {
+                Op::Attach => {
+                    ctx = Some(
+                        sim.attach(p)
+                            .expect("replay worker claims a free processor"),
+                    );
+                }
+                Op::Detach => {
+                    let mut c = ctx.take().expect("Detach follows Attach");
+                    c.service_ipis();
+                    stats = Some(WorkerStats {
+                        proc: p,
+                        vtime_ns: c.vtime(),
+                        counters: c.counters(),
+                    });
+                    if sched.is_needed(i) {
+                        post[i].store(c.vtime(), Ordering::Relaxed);
+                    }
+                    drop(c);
+                    cursor.store(r + 1, Ordering::Release);
+                    return stats;
+                }
+                op => {
+                    let c = ctx.as_mut().expect("ops follow Attach");
+                    exec(c, op, post, &mut block_buf);
+                }
+            }
+            if sched.is_needed(i) {
+                let v = ctx.as_ref().map(|c| c.vtime()).unwrap_or(0);
+                post[i].store(v, Ordering::Relaxed);
+            }
+        }
+        cursor.store(r + 1, Ordering::Release);
     }
 }
 
@@ -141,6 +342,7 @@ fn replay_worker(
     let ops = &ph.ops;
     let mut ctx: Option<UserCtx> = None;
     let mut stats = None;
+    let mut block_buf: Vec<u32> = Vec::new();
     loop {
         // Wait for the cursor to reach one of our ops, acking shootdowns
         // (we may be a target of the current op's initiator) meanwhile.
@@ -187,7 +389,7 @@ fn replay_worker(
             }
             op => {
                 let c = ctx.as_mut().expect("ops follow Attach");
-                exec(c, op, post);
+                exec(c, op, post, &mut block_buf);
             }
         }
         let v = ctx.as_ref().map(|c| c.vtime()).unwrap_or(0);
@@ -198,8 +400,9 @@ fn replay_worker(
 
 /// Executes one recorded op against the replay kernel. Values were not
 /// recorded (the protocol's behaviour and charges are value-independent),
-/// so writes store zero and atomics add zero.
-fn exec(ctx: &mut UserCtx, op: Op, post: &[AtomicU64]) {
+/// so writes store zero and atomics add zero; block ops borrow the
+/// worker's reusable scratch buffer instead of allocating per op.
+fn exec(ctx: &mut UserCtx, op: Op, post: &[AtomicU64], block_buf: &mut Vec<u32>) {
     match op {
         Op::Read { va } => {
             ctx.read(va);
@@ -212,12 +415,14 @@ fn exec(ctx: &mut UserCtx, op: Op, post: &[AtomicU64]) {
             ctx.fetch_add(va, 0);
         }
         Op::ReadBlock { va, words } => {
-            let mut buf = vec![0u32; words as usize];
-            ctx.read_block(va, &mut buf);
+            block_buf.clear();
+            block_buf.resize(words as usize, 0);
+            ctx.read_block(va, block_buf);
         }
         Op::WriteBlock { va, words } => {
-            let buf = vec![0u32; words as usize];
-            ctx.write_block(va, &buf);
+            block_buf.clear();
+            block_buf.resize(words as usize, 0);
+            ctx.write_block(va, block_buf);
         }
         Op::Compute { ns } => ctx.compute(ns),
         Op::AdvanceDep { seq } => {
@@ -305,6 +510,57 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert_eq!(out.kernel, live_kernel, "kernel protocol counters drifted");
+    }
+
+    fn assert_same_outcome(a: &ReplayOutcome, b: &ReplayOutcome) {
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.phases.len(), b.phases.len());
+        for (pa, pb) in a.phases.iter().zip(&b.phases) {
+            assert_eq!(pa.label, pb.label);
+            for (wa, wb) in pa.stats.workers.iter().zip(&pb.stats.workers) {
+                assert_eq!(wa.proc, wb.proc);
+                assert_eq!(wa.vtime_ns, wb.vtime_ns, "proc {} vtime drifted", wa.proc);
+                assert_eq!(
+                    wa.counters, wb.counters,
+                    "proc {} counters drifted",
+                    wa.proc
+                );
+            }
+        }
+        assert_eq!(a.kernel, b.kernel, "kernel protocol counters drifted");
+    }
+
+    #[test]
+    fn parallel_replay_is_bit_identical_to_serial_and_live() {
+        let (trace, live, live_kernel) = capture_mini(3);
+        let par = replay_par(&trace, PolicyKind::Platinum);
+        let serial = replay(&trace, PolicyKind::Platinum);
+        assert_same_outcome(&par, &serial);
+        for (a, b) in live.workers.iter().zip(&par.phases[0].stats.workers) {
+            assert_eq!(a.vtime_ns, b.vtime_ns, "proc {} vtime drifted", a.proc);
+            assert_eq!(a.counters, b.counters, "proc {} counters drifted", a.proc);
+        }
+        assert_eq!(par.kernel, live_kernel);
+        // Off-policy replays shard identically: the run plan depends only
+        // on the trace, never on the policy under test.
+        for kind in [PolicyKind::RemoteAlways, PolicyKind::MigrateOnly] {
+            assert_same_outcome(&replay_par(&trace, kind), &replay(&trace, kind));
+        }
+    }
+
+    #[test]
+    fn replay_many_matches_individual_replays() {
+        let (trace, _, _) = capture_mini(2);
+        let kinds = [
+            PolicyKind::Platinum,
+            PolicyKind::LocalFirstTouch,
+            PolicyKind::RemoteAlways,
+        ];
+        let many = replay_many(&trace, &kinds);
+        assert_eq!(many.len(), kinds.len());
+        for (kind, out) in kinds.iter().zip(&many) {
+            assert_same_outcome(out, &replay(&trace, *kind));
+        }
     }
 
     #[test]
