@@ -14,6 +14,7 @@
 //! The message-passing Gaussian variant is not capturable: it talks to
 //! kernel ports directly, around the `Mem` seam the recorder wraps.
 
+use numa_machine::Topology;
 use platinum_reftrace::{Capture, RefTrace};
 use platinum_runtime::sync::{Barrier, EventCount};
 use platinum_server::{KvConfig, KvTable, TrafficConfig, Workload};
@@ -38,8 +39,13 @@ pub struct CapturedRun {
 /// Records shared-memory Gaussian elimination on `p` of `nodes`
 /// processors: an owner-first-touch init phase and the measured
 /// elimination phase, exactly as `harness::run_gauss` stages them.
-pub fn record_gauss(nodes: usize, p: usize, cfg: &GaussConfig) -> CapturedRun {
-    let mut cap = Capture::new(nodes);
+pub fn record_gauss(
+    nodes: usize,
+    p: usize,
+    cfg: &GaussConfig,
+    topo: Option<&Topology>,
+) -> CapturedRun {
+    let mut cap = Capture::on_topology(nodes, topo);
     let page_words = cap.sim().machine.cfg().words_per_page();
     let mut data = cap.alloc_zone(GaussLayout::zone_pages(cfg.n, page_words));
     let lay = GaussLayout::alloc(&mut data, cfg.n, page_words);
@@ -71,8 +77,13 @@ pub fn record_gauss(nodes: usize, p: usize, cfg: &GaussConfig) -> CapturedRun {
 /// # Panics
 ///
 /// Panics if the sorted output fails verification.
-pub fn record_mergesort(nodes: usize, p: usize, cfg: &SortConfig) -> CapturedRun {
-    let mut cap = Capture::new(nodes);
+pub fn record_mergesort(
+    nodes: usize,
+    p: usize,
+    cfg: &SortConfig,
+    topo: Option<&Topology>,
+) -> CapturedRun {
+    let mut cap = Capture::on_topology(nodes, topo);
     let page_words = cap.sim().machine.cfg().words_per_page();
     let mut data = cap.alloc_zone(SortLayout::zone_pages(cfg.n, page_words));
     let lay = SortLayout::alloc(&mut data, cfg.n);
@@ -105,8 +116,13 @@ pub fn record_mergesort(nodes: usize, p: usize, cfg: &SortConfig) -> CapturedRun
 /// Records the neural-network simulator on `p` of `nodes` processors.
 /// Returns the capture plus the final training error from the
 /// (unrecorded) evaluation pass.
-pub fn record_neural(nodes: usize, p: usize, cfg: &NeuralConfig) -> (CapturedRun, f64) {
-    let mut cap = Capture::new(nodes);
+pub fn record_neural(
+    nodes: usize,
+    p: usize,
+    cfg: &NeuralConfig,
+    topo: Option<&Topology>,
+) -> (CapturedRun, f64) {
+    let mut cap = Capture::on_topology(nodes, topo);
     let mut zone = cap.alloc_zone(NeuralLayout::zone_pages());
     let lay = NeuralLayout::alloc(&mut zone);
 
@@ -140,9 +156,15 @@ pub fn record_neural(nodes: usize, p: usize, cfg: &NeuralConfig) -> (CapturedRun
 /// (recorded, so a replay reproduces the idle gaps exactly). The live
 /// checksum is the post-serve table audit, which also asserts no slot
 /// was torn.
-pub fn record_kv(nodes: usize, p: usize, kcfg: KvConfig, traffic: &TrafficConfig) -> CapturedRun {
+pub fn record_kv(
+    nodes: usize,
+    p: usize,
+    kcfg: KvConfig,
+    traffic: &TrafficConfig,
+    topo: Option<&Topology>,
+) -> CapturedRun {
     let keys = kcfg.keys;
-    let mut cap = Capture::new(nodes);
+    let mut cap = Capture::on_topology(nodes, topo);
     let page_words = cap.sim().machine.cfg().words_per_page();
     let mut data = cap.alloc_zone(kcfg.table_pages(page_words));
     let mut locks = cap.alloc_zone(kcfg.lock_pages());
@@ -191,7 +213,7 @@ mod tests {
     #[test]
     fn gauss_capture_replays_bit_identically() {
         let cfg = GaussConfig::with_n(32);
-        let captured = record_gauss(4, 4, &cfg);
+        let captured = record_gauss(4, 4, &cfg, None);
         assert_eq!(
             captured.live.checksum,
             gauss::reference_checksum(&cfg),
@@ -217,7 +239,7 @@ mod tests {
     #[test]
     fn mergesort_capture_verifies_and_replays() {
         let cfg = SortConfig::with_n(1 << 10);
-        let captured = record_mergesort(4, 4, &cfg);
+        let captured = record_mergesort(4, 4, &cfg, None);
         let out = replay(&captured.trace, PolicyKind::Platinum);
         assert_eq!(out.measured_elapsed_ns(), captured.live.elapsed_ns);
     }
@@ -230,7 +252,7 @@ mod tests {
             mean_interarrival_ns: 10_000,
             ..TrafficConfig::default()
         };
-        let captured = record_kv(4, 4, KvConfig::for_keys(1 << 9, 4), &traffic);
+        let captured = record_kv(4, 4, KvConfig::for_keys(1 << 9, 4), &traffic, None);
         let out = replay(&captured.trace, PolicyKind::Platinum);
         assert_eq!(
             out.measured_elapsed_ns(),
@@ -261,7 +283,7 @@ mod tests {
     #[test]
     fn neural_capture_replays_under_other_policy() {
         let cfg = NeuralConfig::with_epochs(2);
-        let (captured, _err) = record_neural(4, 4, &cfg);
+        let (captured, _err) = record_neural(4, 4, &cfg, None);
         let plat = replay(&captured.trace, PolicyKind::Platinum);
         assert_eq!(plat.measured_elapsed_ns(), captured.live.elapsed_ns);
         let remote = replay(&captured.trace, PolicyKind::RemoteAlways);

@@ -147,6 +147,74 @@ fn run_gauss_faulty(
     }
 }
 
+/// A profiled application run: the run itself plus where the kernel's
+/// *host* time went during the measured phase — the raw material of the
+/// protocol-cost-vs-machine-size sweeps.
+#[derive(Clone, Debug)]
+pub struct ProfiledRun {
+    /// The application run (PLATINUM policy).
+    pub run: AppRun,
+    /// Host-time phase profile of the measured pass.
+    pub prof: platinum::hostprof::HostProfSnapshot,
+    /// Host wall-clock seconds of the measured pass.
+    pub host_secs: f64,
+    /// Charged memory references in the measured pass, for per-op
+    /// normalization of the profile.
+    pub ops: u64,
+}
+
+/// Runs shared-memory Gaussian elimination under PLATINUM with the
+/// kernel's host phase profiler enabled during the measured pass, on an
+/// optional machine description. The sweep entry point
+/// (`scaled_speedup --procs`): the profiler's per-span clock reads make
+/// this marginally slower than [`run_gauss`], so the unprofiled runners
+/// stay the source of every checked timing figure.
+pub fn run_gauss_profiled(
+    nodes: usize,
+    p: usize,
+    cfg: &GaussConfig,
+    topo: Option<&numa_machine::Topology>,
+) -> ProfiledRun {
+    let mut b = SimBuilder::nodes(nodes)
+        // Shallow frame pool: a 256-node machine at the default 4096
+        // frames/node would allocate gigabytes of real backing storage.
+        .frames_per_node(512)
+        .policy(PolicyKind::Platinum);
+    if let Some(t) = topo {
+        b = b.topology(t.clone());
+    }
+    let h: PlatinumHarness = b.build().into();
+    let page_words = h.kernel.machine().cfg().words_per_page();
+    let mut data = h.alloc_zone(GaussLayout::zone_pages(cfg.n, page_words));
+    let lay = GaussLayout::alloc(&mut data, cfg.n, page_words);
+    let mut sync = h.alloc_zone(1);
+    let ec = EventCount::new(sync.alloc_words(1));
+
+    h.run(p, |tid, ctx| gauss::init_owned_rows(ctx, &lay, cfg, tid, p));
+
+    h.kernel.host_prof().enable();
+    let t0 = std::time::Instant::now();
+    let (_, run) = h.run(p, |tid, ctx| {
+        gauss::run_shared(ctx, &lay, cfg, &ec, tid, p);
+    });
+    let host_secs = t0.elapsed().as_secs_f64();
+    let prof = h.kernel.host_prof().snapshot();
+
+    let (sums, _) = h.run(1, |_, ctx| gauss::checksum(ctx, &lay));
+    let ops = run.merged_counters().total_refs();
+    ProfiledRun {
+        run: AppRun {
+            elapsed_ns: run.elapsed_ns(),
+            checksum: sums[0],
+            kernel_stats: h.kernel.stats().snapshot(),
+            run,
+        },
+        prof,
+        host_secs,
+        ops,
+    }
+}
+
 /// Runs the §4.2 anecdote: Gaussian elimination with a shared
 /// matrix-size variable read in the inner loop and a barrier at the
 /// start of the elimination phase.
@@ -163,13 +231,12 @@ pub fn run_gauss_anecdote(
     colocated: bool,
     t2_ns: u64,
 ) -> AppRun {
-    let mut machine_cfg = numa_machine::MachineConfig::with_nodes(nodes);
-    machine_cfg.frames_per_node = 4096;
-    let kcfg = platinum::KernelConfig {
-        t2_defrost_ns: t2_ns,
-        ..Default::default()
-    };
-    let h = PlatinumHarness::with_config(machine_cfg, PolicyKind::Platinum.build(), kcfg);
+    let h: PlatinumHarness = SimBuilder::nodes(nodes)
+        .frames_per_node(4096)
+        .policy(PolicyKind::Platinum)
+        .defrost_ns(t2_ns)
+        .build()
+        .into();
     let page_words = h.kernel.machine().cfg().words_per_page();
     let mut data = h.alloc_zone(GaussLayout::zone_pages(cfg.n, page_words));
     let lay = GaussLayout::alloc(&mut data, cfg.n, page_words);

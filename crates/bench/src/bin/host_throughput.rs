@@ -18,16 +18,26 @@
 //! Usage:
 //!   host_throughput [--ops 4000000] [--rounds 20000] [--out FILE]
 //!                   [--mix NAME] [--check --baseline FILE [--tolerance 0.20]]
+//!                   [--procs 16,32,64,128,256] [--topology flat|hier2|hier2x4]
 //!
 //! `--out` writes a JSON artifact (default results/BENCH_host_throughput.json;
 //! bench artifacts live under results/, never the repo root).
 //! `--mix` restricts the run to one mix for quick iteration.
 //! `--check` compares each mix's fast-path MIPS against a baseline
 //! artifact and exits nonzero on a regression beyond the tolerance.
+//!
+//! `--procs` switches to the machine-size sweep: each listed processor
+//! count boots its own machine (optionally under `--topology`), runs the
+//! selected mixes on the fast path, and the artifact gains one entry per
+//! p with throughput and `host_phase_ns_per_op` — the protocol-cost-vs-
+//! machine-size curve. The sweep intentionally skips the reference path
+//! and the interleaved best-of-6 discipline: it charts scaling shape,
+//! not the `--check` capability number, so the default artifact format
+//! (and any recorded baseline) is untouched.
 
 use std::time::Instant;
 
-use numa_machine::{MachineConfig, Mem};
+use numa_machine::{MachineConfig, Mem, TimingConfig, Topology};
 use platinum::hostprof::HostProfSnapshot;
 use platinum::{NeverReplicate, PlatinumPolicy, ReplicationPolicy, Rights, UserCtx};
 use platinum_analysis::report::json::Value;
@@ -35,14 +45,23 @@ use platinum_analysis::report::Table;
 use platinum_bench::Args;
 use platinum_runtime::sim::{Sim, SimBuilder};
 
-fn boot(nodes: usize, fast_path: bool, policy: Option<Box<dyn ReplicationPolicy>>) -> Sim {
+fn boot(
+    nodes: usize,
+    frames_per_node: usize,
+    fast_path: bool,
+    topo: Option<&Topology>,
+    policy: Option<Box<dyn ReplicationPolicy>>,
+) -> Sim {
     let mut b = SimBuilder::nodes(nodes).machine_config(MachineConfig {
         nodes,
-        frames_per_node: 256,
+        frames_per_node,
         skew_window_ns: None,
         fast_path,
         ..MachineConfig::default()
     });
+    if let Some(t) = topo {
+        b = b.topology(t.clone());
+    }
     if let Some(p) = policy {
         b = b.policy_box(p);
     }
@@ -87,8 +106,15 @@ fn pattern(va: u64, page_bytes: u64) -> Vec<(u64, bool)> {
 /// ATC-resident references to pages homed on the running processor.
 /// Returns elapsed host seconds for `ops` references (setup excluded)
 /// plus the kernel phase profile when `profile` is set.
-fn all_local(fast_path: bool, ops: u64, profile: bool) -> (f64, HostProfSnapshot) {
-    let sim = boot(2, fast_path, None);
+fn all_local(
+    nodes: usize,
+    topo: Option<&Topology>,
+    frames: usize,
+    fast_path: bool,
+    ops: u64,
+    profile: bool,
+) -> (f64, HostProfSnapshot) {
+    let sim = boot(nodes, frames, fast_path, topo, None);
     let object = sim.kernel.create_object(PAGES as usize);
     let va = sim.space.map_anywhere(object, Rights::RW).unwrap();
     let page_bytes = (sim.machine.cfg().words_per_page() * 4) as u64;
@@ -120,8 +146,21 @@ fn all_local(fast_path: bool, ops: u64, profile: bool) -> (f64, HostProfSnapshot
 }
 
 /// ATC-resident references to pages statically placed on a remote node.
-fn all_remote(fast_path: bool, ops: u64, profile: bool) -> (f64, HostProfSnapshot) {
-    let sim = boot(2, fast_path, Some(Box::new(NeverReplicate)));
+fn all_remote(
+    nodes: usize,
+    topo: Option<&Topology>,
+    frames: usize,
+    fast_path: bool,
+    ops: u64,
+    profile: bool,
+) -> (f64, HostProfSnapshot) {
+    let sim = boot(
+        nodes,
+        frames,
+        fast_path,
+        topo,
+        Some(Box::new(NeverReplicate)),
+    );
     let object = sim.kernel.create_object(PAGES as usize);
     let va = sim.space.map_anywhere(object, Rights::RW).unwrap();
     let page_bytes = (sim.machine.cfg().words_per_page() * 4) as u64;
@@ -152,12 +191,23 @@ fn all_remote(fast_path: bool, ops: u64, profile: bool) -> (f64, HostProfSnapsho
     )
 }
 
-/// Write ping-pong: each reference invalidates the peer's copy and
-/// migrates the page, so the protocol slow path dominates.
-fn fault_heavy(fast_path: bool, rounds: u64, profile: bool) -> (f64, HostProfSnapshot) {
+/// Write ping-pong: each reference invalidates the previous writer's
+/// copy and migrates the page, so the protocol slow path dominates. The
+/// page circulates round-robin over all `nodes` processors (`nodes = 2`
+/// recovers the classic two-party ping-pong), `pings` writes in total.
+fn fault_heavy(
+    nodes: usize,
+    topo: Option<&Topology>,
+    frames: usize,
+    fast_path: bool,
+    pings: u64,
+    profile: bool,
+) -> (f64, HostProfSnapshot) {
     let sim = boot(
-        2,
+        nodes,
+        frames,
         fast_path,
+        topo,
         Some(Box::new(PlatinumPolicy {
             // Never freeze: keep every round on the full migrate path.
             t1_ns: 0,
@@ -166,20 +216,22 @@ fn fault_heavy(fast_path: bool, rounds: u64, profile: bool) -> (f64, HostProfSna
     );
     let object = sim.kernel.create_object(1);
     let va = sim.space.map_anywhere(object, Rights::RW).unwrap();
-    let mut a = sim.attach(0).unwrap();
-    let mut b = sim.attach(1).unwrap();
-    let ping = |w: &mut UserCtx, s: &mut UserCtx, val: u32| {
-        s.suspend();
-        w.write(va, val);
-        s.resume();
-    };
+    let mut ctxs: Vec<UserCtx> = (0..nodes).map(|p| sim.attach(p).unwrap()).collect();
+    // Only the current writer runs; everyone else sits suspended so the
+    // migration's shootdown handshake never waits on a spinning peer in
+    // host time (the quantity under measurement).
+    for c in ctxs.iter_mut().skip(1) {
+        c.suspend();
+    }
     if profile {
         sim.kernel.host_prof().enable();
     }
     let start = Instant::now();
-    for k in 0..rounds {
-        ping(&mut a, &mut b, k as u32);
-        ping(&mut b, &mut a, k as u32);
+    for k in 0..pings {
+        let i = (k as usize) % nodes;
+        ctxs[i].write(va, k as u32);
+        ctxs[(i + 1) % nodes].resume();
+        ctxs[i].suspend();
     }
     (
         start.elapsed().as_secs_f64(),
@@ -224,14 +276,18 @@ fn run_mixes(ops: u64, rounds: u64, only: Option<&str>) -> Vec<MixResult> {
     let wanted = |name: &str| only.is_none_or(|m| m == name);
     let mut out = Vec::new();
     if wanted("all_local") {
-        out.push(interleaved("all_local", ops, all_local));
+        out.push(interleaved("all_local", ops, |fast, n, prof| {
+            all_local(2, None, 256, fast, n, prof)
+        }));
     }
     if wanted("all_remote") {
-        out.push(interleaved("all_remote", ops, all_remote));
+        out.push(interleaved("all_remote", ops, |fast, n, prof| {
+            all_remote(2, None, 256, fast, n, prof)
+        }));
     }
     if wanted("fault_heavy") {
         out.push(interleaved("fault_heavy", rounds * 2, |fast, n, prof| {
-            fault_heavy(fast, n / 2, prof)
+            fault_heavy(2, None, 256, fast, n, prof)
         }));
     }
     assert!(
@@ -241,8 +297,168 @@ fn run_mixes(ops: u64, rounds: u64, only: Option<&str>) -> Vec<MixResult> {
     out
 }
 
+fn per_op_ns(ns: u64, ops: u64) -> f64 {
+    ns as f64 / ops.max(1) as f64
+}
+
 fn per_op(ns: u64, r: &MixResult) -> f64 {
-    ns as f64 / r.profiled_ops.max(1) as f64
+    per_op_ns(ns, r.profiled_ops)
+}
+
+/// One (p, mix) cell of the machine-size sweep.
+struct SweepCell {
+    name: &'static str,
+    ops: u64,
+    fast_mips: f64,
+    prof: HostProfSnapshot,
+}
+
+/// The `--procs` sweep: each listed processor count boots its own
+/// machine under `topo` and runs the selected mixes once, fast path
+/// only, with the kernel phase profiler enabled — one boot per (p, mix)
+/// cell. The throughput numbers therefore carry the profiler's two
+/// clock reads per slow-path span; the curve's *shape* against p is the
+/// deliverable, not a `--check`-grade capability figure.
+fn run_sweep(
+    ps: &[usize],
+    topo: &str,
+    ops: u64,
+    pings: u64,
+    only: Option<&str>,
+) -> Vec<(usize, Vec<SweepCell>)> {
+    let wanted = |name: &str| only.is_none_or(|m| m == name);
+    // Shallow frame pool: the mixes touch at most four pages per node,
+    // and 256 nodes x 4096 frames of real backing storage would be
+    // gigabytes of host memory per boot.
+    const SWEEP_FRAMES: usize = 32;
+    let timing = TimingConfig::default();
+    let mut out = Vec::new();
+    for &p in ps {
+        assert!(p >= 2, "--procs entries must be at least 2 (got {p})");
+        let t = Topology::by_name(topo, p, &timing).unwrap_or_else(|| {
+            panic!("unknown --topology {topo:?} (expected flat, hier2, hier2x4)")
+        });
+        let mut cells = Vec::new();
+        if wanted("all_local") {
+            let (secs, prof) = all_local(p, Some(&t), SWEEP_FRAMES, true, ops, true);
+            cells.push(SweepCell {
+                name: "all_local",
+                ops,
+                fast_mips: mips(ops, secs),
+                prof,
+            });
+        }
+        if wanted("all_remote") {
+            let (secs, prof) = all_remote(p, Some(&t), SWEEP_FRAMES, true, ops, true);
+            cells.push(SweepCell {
+                name: "all_remote",
+                ops,
+                fast_mips: mips(ops, secs),
+                prof,
+            });
+        }
+        if wanted("fault_heavy") {
+            let (secs, prof) = fault_heavy(p, Some(&t), SWEEP_FRAMES, true, pings, true);
+            cells.push(SweepCell {
+                name: "fault_heavy",
+                ops: pings,
+                fast_mips: mips(pings, secs),
+                prof,
+            });
+        }
+        assert!(
+            !cells.is_empty(),
+            "--mix must be one of all_local, all_remote, fault_heavy"
+        );
+        eprintln!("  p={p} done");
+        out.push((p, cells));
+    }
+    out
+}
+
+fn sweep_artifact(topo: &str, sweep: &[(usize, Vec<SweepCell>)]) -> String {
+    Value::obj(vec![
+        ("bench", Value::Str("host_throughput".to_string())),
+        ("mode", Value::Str("procs_sweep".to_string())),
+        ("topology", Value::Str(topo.to_string())),
+        (
+            "unit",
+            Value::Str("simulated Mrefs per host second".to_string()),
+        ),
+        (
+            "sweep",
+            Value::Arr(
+                sweep
+                    .iter()
+                    .map(|(p, cells)| {
+                        Value::obj(vec![
+                            ("procs", Value::Num(*p as f64)),
+                            (
+                                "mixes",
+                                Value::Arr(
+                                    cells
+                                        .iter()
+                                        .map(|c| {
+                                            Value::obj(vec![
+                                                ("name", Value::Str(c.name.to_string())),
+                                                ("ops", Value::Num(c.ops as f64)),
+                                                ("fast_mips", Value::Num(c.fast_mips)),
+                                                (
+                                                    "host_phase_ns_per_op",
+                                                    Value::obj(vec![
+                                                        (
+                                                            "fault",
+                                                            Value::Num(per_op_ns(
+                                                                c.prof.fault_ns,
+                                                                c.ops,
+                                                            )),
+                                                        ),
+                                                        (
+                                                            "shootdown",
+                                                            Value::Num(per_op_ns(
+                                                                c.prof.shootdown_ns,
+                                                                c.ops,
+                                                            )),
+                                                        ),
+                                                        (
+                                                            "transfer",
+                                                            Value::Num(per_op_ns(
+                                                                c.prof.transfer_ns,
+                                                                c.ops,
+                                                            )),
+                                                        ),
+                                                        (
+                                                            "directory",
+                                                            Value::Num(per_op_ns(
+                                                                c.prof.directory_ns,
+                                                                c.ops,
+                                                            )),
+                                                        ),
+                                                    ]),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json()
+}
+
+fn write_artifact(out: &str, body: &str) {
+    if let Some(dir) = std::path::Path::new(out)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    }
+    std::fs::write(out, body).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("artifact written to {out}");
 }
 
 fn artifact(results: &[MixResult]) -> String {
@@ -303,6 +519,51 @@ fn main() {
     let ops = args.get_or("--ops", 2_000_000u64);
     let rounds = args.get_or("--rounds", 20_000u64);
     let mix = args.get::<String>("--mix");
+
+    if let Some(list) = args.get::<String>("--procs") {
+        let ps: Vec<usize> = list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--procs takes a comma-separated list, got {s:?}"))
+            })
+            .collect();
+        let topo = args
+            .get::<String>("--topology")
+            .unwrap_or_else(|| "flat".to_string());
+        let out = args
+            .get::<String>("--out")
+            .unwrap_or_else(|| "results/BENCH_host_throughput_procs.json".to_string());
+        println!("Host throughput vs machine size ({topo} topology)\n");
+        let sweep = run_sweep(&ps, &topo, ops, rounds, mix.as_deref());
+        let mut table = Table::new(vec![
+            "p",
+            "mix",
+            "fast (Mref/s)",
+            "fault ns/op",
+            "shootdown ns/op",
+            "transfer ns/op",
+            "directory ns/op",
+        ]);
+        for (p, cells) in &sweep {
+            for c in cells {
+                table.row(vec![
+                    p.to_string(),
+                    c.name.to_string(),
+                    format!("{:.2}", c.fast_mips),
+                    format!("{:.0}", per_op_ns(c.prof.fault_ns, c.ops)),
+                    format!("{:.0}", per_op_ns(c.prof.shootdown_ns, c.ops)),
+                    format!("{:.0}", per_op_ns(c.prof.transfer_ns, c.ops)),
+                    format!("{:.0}", per_op_ns(c.prof.directory_ns, c.ops)),
+                ]);
+            }
+        }
+        println!("{table}");
+        write_artifact(&out, &sweep_artifact(&topo, &sweep));
+        return;
+    }
+
     let out = args
         .get::<String>("--out")
         .unwrap_or_else(|| "results/BENCH_host_throughput.json".to_string());
@@ -328,14 +589,7 @@ fn main() {
     }
     println!("{table}");
 
-    if let Some(dir) = std::path::Path::new(&out)
-        .parent()
-        .filter(|d| !d.as_os_str().is_empty())
-    {
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
-    }
-    std::fs::write(&out, artifact(&results)).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    println!("artifact written to {out}");
+    write_artifact(&out, &artifact(&results));
 
     if args.flag("--check") {
         let path: String = args.get("--baseline").expect("--check needs --baseline");

@@ -15,17 +15,126 @@
 //!
 //! Usage:
 //!   scaled_speedup [--base-n 128] [--max-procs 8]
+//!                  [--procs 16,32,64,128,256] [--topology flat|hier2|hier2x4]
+//!                  [--out FILE]
+//!
+//! `--procs` switches to the machine-size sweep: each listed processor
+//! count runs the *scaled* problem (n grows as p^(1/3), constant work
+//! per processor) on its own p-node machine, with the kernel's host
+//! phase profiler on, and writes a per-p JSON artifact of simulated
+//! throughput and `host_phase_ns_per_op` — how the protocol's host cost
+//! scales with machine size on a real application, the companion curve
+//! to `host_throughput --procs`'s microbenchmark view.
 
+use numa_machine::{TimingConfig, Topology};
+use platinum_analysis::report::json::Value;
 use platinum_analysis::report::Table;
 use platinum_apps::gauss::GaussConfig;
-use platinum_apps::harness::{run_gauss, GaussStyle, PolicyKind};
+use platinum_apps::harness::{run_gauss, run_gauss_profiled, GaussStyle, PolicyKind};
 use platinum_bench::{Args, TraceSink};
+
+/// Scaled problem size: n(p) = base_n * p^(1/3) keeps work per
+/// processor constant (total work ~ n^3).
+fn scaled_n(base_n: usize, p: usize) -> usize {
+    ((base_n as f64) * (p as f64).powf(1.0 / 3.0)).round() as usize
+}
+
+fn run_procs_sweep(args: &Args, ps: &[usize], base_n: usize) {
+    let topo_name = args
+        .get::<String>("--topology")
+        .unwrap_or_else(|| "flat".to_string());
+    let out = args
+        .get::<String>("--out")
+        .unwrap_or_else(|| "results/BENCH_scaled_speedup_procs.json".to_string());
+    let timing = TimingConfig::default();
+
+    println!("scaled-problem Gaussian elimination vs machine size ({topo_name} topology)\n");
+    let mut table = Table::new(vec![
+        "p",
+        "n",
+        "vtime (ms)",
+        "sim Mref/s",
+        "fault ns/op",
+        "shootdown ns/op",
+        "transfer ns/op",
+        "directory ns/op",
+    ]);
+    let mut entries = Vec::new();
+    for &p in ps {
+        let n = scaled_n(base_n, p);
+        let topo = Topology::by_name(&topo_name, p, &timing).unwrap_or_else(|| {
+            panic!("unknown --topology {topo_name:?} (expected flat, hier2, hier2x4)")
+        });
+        let r = run_gauss_profiled(p, p, &GaussConfig::with_n(n), Some(&topo));
+        let per_op = |ns: u64| ns as f64 / r.ops.max(1) as f64;
+        let sim_mips = r.ops as f64 / 1e6 / r.host_secs.max(1e-9);
+        table.row(vec![
+            p.to_string(),
+            n.to_string(),
+            format!("{:.3}", r.run.elapsed_ns as f64 / 1e6),
+            format!("{sim_mips:.2}"),
+            format!("{:.0}", per_op(r.prof.fault_ns)),
+            format!("{:.0}", per_op(r.prof.shootdown_ns)),
+            format!("{:.0}", per_op(r.prof.transfer_ns)),
+            format!("{:.0}", per_op(r.prof.directory_ns)),
+        ]);
+        entries.push(Value::obj(vec![
+            ("procs", Value::Num(p as f64)),
+            ("n", Value::Num(n as f64)),
+            ("elapsed_ns", Value::Num(r.run.elapsed_ns as f64)),
+            ("ops", Value::Num(r.ops as f64)),
+            ("sim_mips", Value::Num(sim_mips)),
+            (
+                "host_phase_ns_per_op",
+                Value::obj(vec![
+                    ("fault", Value::Num(per_op(r.prof.fault_ns))),
+                    ("shootdown", Value::Num(per_op(r.prof.shootdown_ns))),
+                    ("transfer", Value::Num(per_op(r.prof.transfer_ns))),
+                    ("directory", Value::Num(per_op(r.prof.directory_ns))),
+                ]),
+            ),
+        ]));
+        eprintln!("  p={p} done");
+    }
+    println!("{table}");
+
+    let body = Value::obj(vec![
+        ("bench", Value::Str("scaled_speedup".to_string())),
+        ("mode", Value::Str("procs_sweep".to_string())),
+        ("topology", Value::Str(topo_name)),
+        ("base_n", Value::Num(base_n as f64)),
+        ("sweep", Value::Arr(entries)),
+    ])
+    .to_json();
+    if let Some(dir) = std::path::Path::new(&out)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    }
+    std::fs::write(&out, body).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("artifact written to {out}");
+}
 
 fn main() {
     let args = Args::parse();
     let sink = TraceSink::from_args(&args);
     let base_n = args.get_or("--base-n", 128usize);
     let max_procs = args.get_or("--max-procs", 8usize);
+
+    if let Some(list) = args.get::<String>("--procs") {
+        let ps: Vec<usize> = list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--procs takes a comma-separated list, got {s:?}"))
+            })
+            .collect();
+        run_procs_sweep(&args, &ps, base_n);
+        platinum_bench::trace_out::finish(sink);
+        return;
+    }
 
     println!("fixed-size vs scaled-problem efficiency, Gaussian elimination on PLATINUM");
     println!("fixed: n = {base_n} at every p; scaled: n grows as p^(1/3) x {base_n} (constant work/processor)\n");
@@ -66,7 +175,7 @@ fn main() {
 
         // Scaled: total work ~ n^3 grows with p, so n(p) = base_n * p^(1/3);
         // efficiency = T1(n(p)) scaled-work-rate vs Tp.
-        let n_scaled = ((base_n as f64) * (p as f64).powf(1.0 / 3.0)).round() as usize;
+        let n_scaled = scaled_n(base_n, p);
         let scaled_cfg = GaussConfig::with_n(n_scaled);
         let tp_scaled = run_gauss(
             GaussStyle::Shared(PolicyKind::Platinum),

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use numa_machine::{procs_in_mask, Vpn};
+use numa_machine::{AtomicProcSet, ProcSet, Vpn};
 
 use crate::hash::FastMap;
 use crate::ids::{CpageId, Rights};
@@ -22,53 +22,54 @@ pub struct CmapEntry {
     /// The rights the virtual memory system granted (virtual-to-coherent
     /// level). The protocol may restrict the physical mapping further.
     pub rights: Rights,
-    /// Reference mask: bit `p` is set when processor `p` holds a
+    /// Reference mask: processor `p` is a member when it holds a
     /// virtual-to-physical translation for this page in its Pmap.
     /// Maintained with atomics so faulting processors and shootdown
     /// targets never need a shared lock.
-    pub refmask: AtomicU64,
+    pub refmask: AtomicProcSet,
 }
 
 impl CmapEntry {
-    /// Creates an entry with an empty reference mask.
-    pub fn new(cpage: CpageId, rights: Rights) -> Self {
+    /// Creates an entry with an empty reference mask, sized for a machine
+    /// of `nprocs` processors.
+    pub fn new(cpage: CpageId, rights: Rights, nprocs: usize) -> Self {
         Self {
             cpage,
             rights,
-            refmask: AtomicU64::new(0),
+            refmask: AtomicProcSet::with_capacity(nprocs),
         }
     }
 
     /// Marks processor `p` as holding a translation.
     #[inline]
     pub fn set_ref(&self, p: usize) {
-        self.refmask.fetch_or(1u64 << p, Ordering::AcqRel);
+        self.refmask.insert(p);
     }
 
     /// Clears processor `p`'s reference bit.
     #[inline]
     pub fn clear_ref(&self, p: usize) {
-        self.refmask.fetch_and(!(1u64 << p), Ordering::AcqRel);
+        self.refmask.remove(p);
     }
 
-    /// The current reference mask.
+    /// A snapshot of the current reference mask.
     #[inline]
-    pub fn refs(&self) -> u64 {
-        self.refmask.load(Ordering::Acquire)
+    pub fn refs(&self) -> ProcSet {
+        self.refmask.load()
     }
 }
 
 /// A shootdown directive carried by a Cmap message (§2.3: "a directive
 /// either to invalidate the current translation or to restrict the access
 /// rights in it").
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Directive {
     /// Remove the virtual-to-physical translation entirely.
     Invalidate,
     /// Remove the translation only if it points at a physical copy on one
-    /// of the modules in the mask (used when selected replicas are being
+    /// of the modules in the set (used when selected replicas are being
     /// reclaimed; translations to the surviving copy are left intact).
-    InvalidateModules(u64),
+    InvalidateModules(ProcSet),
     /// Downgrade the translation to read-only.
     RestrictToRead,
 }
@@ -81,10 +82,10 @@ pub struct CmapMsg {
     pub vpn: Vpn,
     /// What to do to it.
     pub directive: Directive,
-    /// Processors that still have to apply the change; each target clears
-    /// its own bit after updating its Pmap ("it applies the change to its
+    /// Processors that still have to apply the change; each target removes
+    /// itself after updating its Pmap ("it applies the change to its
     /// Pmap and removes itself from the target mask").
-    pub targets: AtomicU64,
+    pub targets: AtomicProcSet,
     /// The maximum virtual time at which a target acknowledged; the
     /// initiator advances its clock to this after the wait, which is how
     /// shootdown latency propagates between processors in the simulation.
@@ -93,11 +94,11 @@ pub struct CmapMsg {
 
 impl CmapMsg {
     /// Creates a message for `targets`.
-    pub fn new(vpn: Vpn, directive: Directive, targets: u64) -> Arc<Self> {
+    pub fn new(vpn: Vpn, directive: Directive, targets: &ProcSet) -> Arc<Self> {
         Arc::new(Self {
             vpn,
             directive,
-            targets: AtomicU64::new(targets),
+            targets: AtomicProcSet::from_set(targets),
             ack_vtime: AtomicU64::new(0),
         })
     }
@@ -106,18 +107,19 @@ impl CmapMsg {
     /// (`Arc::get_mut`), which proves no queue, target, or waiter still
     /// holds the message — the per-processor message pools rely on this
     /// to recycle acknowledged messages without heap traffic.
-    pub fn reset(&mut self, vpn: Vpn, directive: Directive, targets: u64) {
+    pub fn reset(&mut self, vpn: Vpn, directive: Directive, targets: &ProcSet) {
         self.vpn = vpn;
         self.directive = directive;
-        *self.targets.get_mut() = targets;
+        self.targets.store_from(targets);
         *self.ack_vtime.get_mut() = 0;
     }
 
-    /// Clears `p`'s bit, acknowledging the change at virtual time `now`.
+    /// Removes `p` from the targets, acknowledging the change at virtual
+    /// time `now`.
     #[inline]
     pub fn ack(&self, p: usize, now: u64) {
         self.ack_vtime.fetch_max(now, Ordering::AcqRel);
-        self.targets.fetch_and(!(1u64 << p), Ordering::AcqRel);
+        self.targets.remove(p);
     }
 
     /// The latest acknowledgment time seen so far.
@@ -126,21 +128,36 @@ impl CmapMsg {
         self.ack_vtime.load(Ordering::Acquire)
     }
 
-    /// The processors that have not yet applied the change.
+    /// A snapshot of the processors that have not yet applied the change.
     #[inline]
-    pub fn pending(&self) -> u64 {
-        self.targets.load(Ordering::Acquire)
+    pub fn pending(&self) -> ProcSet {
+        self.targets.load()
+    }
+
+    /// Whether processor `p` still has to apply the change.
+    #[inline]
+    pub fn pending_for_proc(&self, p: usize) -> bool {
+        self.targets.contains(p)
+    }
+
+    /// Whether any target has yet to apply the change.
+    #[inline]
+    pub fn has_pending(&self) -> bool {
+        !self.targets.is_empty()
+    }
+
+    /// Whether any processor in `set` has yet to apply the change — the
+    /// snapshot-free test initiators spin on while awaiting their own
+    /// targets.
+    #[inline]
+    pub fn pending_intersects(&self, set: &ProcSet) -> bool {
+        self.targets.intersects(set)
     }
 }
 
 /// Default number of directory shards. Power of two; tuned so sixteen
 /// faulting processors rarely collide on a shard lock.
 pub const DEFAULT_SHARDS: usize = 16;
-
-/// Per-processor message queues are sized for the machine's hard limit of
-/// 64 processors (the refmask/target bitmask width); a Cmap does not know
-/// the actual processor count at construction.
-const MAX_PROCS: usize = 64;
 
 /// One directory shard: a lock over the VPN-to-entry map it stripes.
 type Shard = RwLock<FastMap<Vpn, Arc<CmapEntry>>>;
@@ -161,40 +178,58 @@ pub struct Cmap {
     /// "A queue of Cmap messages describing recent changes to the address
     /// space" — one per target processor. A message for several targets is
     /// enqueued on each target's queue; queue `p` only ever holds messages
-    /// with `p`'s target bit set.
+    /// with `p` in their target set.
     queues: Box<[Mutex<Vec<Arc<CmapMsg>>>]>,
+    /// Number of processors on the machine this Cmap serves; sizes new
+    /// reference masks.
+    nprocs: usize,
 }
 
 impl Cmap {
-    /// An empty Cmap with the default shard count.
+    /// An empty Cmap with the default shard count, sized for a 64-processor
+    /// machine (tests and tools; the kernel threads the real count through
+    /// [`Cmap::with_shards`]).
     pub fn new() -> Self {
-        Self::with_shards(DEFAULT_SHARDS)
+        Self::with_shards(DEFAULT_SHARDS, 64)
     }
 
-    /// An empty Cmap with `shards` directory shards.
+    /// An empty Cmap with `shards` directory shards serving a machine of
+    /// `nprocs` processors.
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is not a nonzero power of two.
-    pub fn with_shards(shards: usize) -> Self {
+    /// Panics if `shards` is not a nonzero power of two or `nprocs` is 0.
+    pub fn with_shards(shards: usize, nprocs: usize) -> Self {
         assert!(
             shards.is_power_of_two() && shards > 0,
             "Cmap shard count must be a nonzero power of two"
         );
+        assert!(nprocs > 0, "Cmap needs at least one processor queue");
         let mut s = Vec::with_capacity(shards);
         s.resize_with(shards, || RwLock::new(FastMap::default()));
-        let mut q = Vec::with_capacity(MAX_PROCS);
-        q.resize_with(MAX_PROCS, || Mutex::new(Vec::new()));
+        let mut q = Vec::with_capacity(nprocs);
+        q.resize_with(nprocs, || Mutex::new(Vec::new()));
         Self {
             shards: s.into_boxed_slice(),
             shard_mask: shards - 1,
             queues: q.into_boxed_slice(),
+            nprocs,
         }
     }
 
     /// The number of directory shards.
     pub fn nshards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The processor count this Cmap was sized for.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// An empty entry for `vpn`-insertion, sized for this machine.
+    pub fn make_entry(&self, cpage: CpageId, rights: Rights) -> CmapEntry {
+        CmapEntry::new(cpage, rights, self.nprocs)
     }
 
     #[inline]
@@ -209,7 +244,7 @@ impl Cmap {
 
     /// The reference mask of the entry for `vpn`, read without an Arc
     /// round-trip — the shootdown post path only needs the mask.
-    pub fn refs_of(&self, vpn: Vpn) -> Option<u64> {
+    pub fn refs_of(&self, vpn: Vpn) -> Option<ProcSet> {
         self.shard(vpn).read().get(&vpn).map(|e| e.refs())
     }
 
@@ -245,25 +280,24 @@ impl Cmap {
     }
 
     /// Posts a message: it is enqueued on the private queue of every
-    /// processor in its (current) target mask.
+    /// processor in its (current) target set.
     pub fn post(&self, msg: Arc<CmapMsg>) {
-        for p in procs_in_mask(msg.pending()) {
-            let bit = 1u64 << p;
+        for p in msg.pending().iter() {
             let mut q = self.queues[p].lock();
             q.push(Arc::clone(&msg));
             // Compact messages this target has already applied, so a
             // queue that is never drained (idle processor) stays short.
-            q.retain(|m| m.pending() & bit != 0);
+            q.retain(|m| m.pending_for_proc(p));
         }
     }
 
     /// The messages still pending for processor `p`.
     ///
     /// Non-destructive: the caller applies each change to its own
-    /// Pmap/ATC and then acks, which clears `p`'s target bit; the next
-    /// call compacts acknowledged messages out of the queue. Only `p`'s
-    /// private queue is locked, so targets never contend with initiators
-    /// posting to other processors.
+    /// Pmap/ATC and then acks, which removes `p` from the target set; the
+    /// next call compacts acknowledged messages out of the queue. Only
+    /// `p`'s private queue is locked, so targets never contend with
+    /// initiators posting to other processors.
     pub fn pending_for(&self, p: usize) -> Vec<Arc<CmapMsg>> {
         let mut out = Vec::new();
         self.pending_for_into(p, &mut out);
@@ -274,12 +308,11 @@ impl Cmap {
     /// so the fault path's steady state drains without allocating.
     pub fn pending_for_into(&self, p: usize, out: &mut Vec<Arc<CmapMsg>>) {
         out.clear();
-        let bit = 1u64 << p;
         let mut q = self.queues[p].lock();
         if q.is_empty() {
             return;
         }
-        q.retain(|m| m.pending() & bit != 0);
+        q.retain(|m| m.pending_for_proc(p));
         out.extend(q.iter().cloned());
     }
 
@@ -288,7 +321,7 @@ impl Cmap {
         let mut seen = std::collections::HashSet::new();
         for q in self.queues.iter() {
             for m in q.lock().iter() {
-                if m.pending() != 0 {
+                if m.has_pending() {
                     seen.insert(Arc::as_ptr(m));
                 }
             }
@@ -309,31 +342,41 @@ mod tests {
 
     #[test]
     fn refmask_bits() {
-        let e = CmapEntry::new(CpageId(0), Rights::RW);
-        assert_eq!(e.refs(), 0);
+        let e = CmapEntry::new(CpageId(0), Rights::RW, 16);
+        assert!(e.refs().is_empty());
         e.set_ref(3);
         e.set_ref(7);
-        assert_eq!(e.refs(), (1 << 3) | (1 << 7));
+        assert_eq!(e.refs(), ProcSet::from_mask((1 << 3) | (1 << 7)));
         e.clear_ref(3);
-        assert_eq!(e.refs(), 1 << 7);
+        assert_eq!(e.refs(), ProcSet::single(7));
+    }
+
+    #[test]
+    fn refmask_holds_big_machine_ids() {
+        let e = CmapEntry::new(CpageId(0), Rights::RW, 256);
+        e.set_ref(0);
+        e.set_ref(200);
+        assert_eq!(e.refs().iter().collect::<Vec<_>>(), vec![0, 200]);
+        e.clear_ref(200);
+        assert_eq!(e.refs(), ProcSet::single(0));
     }
 
     #[test]
     fn message_ack_drains() {
-        let m = CmapMsg::new(5, Directive::Invalidate, 0b1011);
+        let m = CmapMsg::new(5, Directive::Invalidate, &ProcSet::from_mask(0b1011));
         m.ack(0, 100);
         m.ack(3, 250);
-        assert_eq!(m.pending(), 0b0010);
+        assert_eq!(m.pending(), ProcSet::from_mask(0b0010));
         assert_eq!(m.ack_time(), 250);
         m.ack(1, 50);
-        assert_eq!(m.pending(), 0);
+        assert!(!m.has_pending());
     }
 
     #[test]
     fn queue_post_pending_compact() {
         let c = Cmap::new();
-        let m1 = CmapMsg::new(1, Directive::Invalidate, 0b01);
-        let m2 = CmapMsg::new(2, Directive::RestrictToRead, 0b11);
+        let m1 = CmapMsg::new(1, Directive::Invalidate, &ProcSet::from_mask(0b01));
+        let m2 = CmapMsg::new(2, Directive::RestrictToRead, &ProcSet::from_mask(0b11));
         c.post(Arc::clone(&m1));
         c.post(Arc::clone(&m2));
         assert_eq!(c.queue_len(), 2);
@@ -354,14 +397,22 @@ mod tests {
         m2.ack(0, 1);
         assert!(c.pending_for(0).is_empty());
         m2.ack(1, 1);
-        c.post(CmapMsg::new(3, Directive::Invalidate, 0b1));
+        c.post(CmapMsg::new(
+            3,
+            Directive::Invalidate,
+            &ProcSet::from_mask(0b1),
+        ));
         assert_eq!(c.queue_len(), 1);
     }
 
     #[test]
     fn posted_message_skips_non_targets() {
         let c = Cmap::new();
-        c.post(CmapMsg::new(4, Directive::Invalidate, 0b100));
+        c.post(CmapMsg::new(
+            4,
+            Directive::Invalidate,
+            &ProcSet::from_mask(0b100),
+        ));
         assert!(c.pending_for(0).is_empty());
         assert!(c.pending_for(1).is_empty());
         let p2 = c.pending_for(2);
@@ -370,9 +421,22 @@ mod tests {
     }
 
     #[test]
+    fn messages_reach_targets_beyond_64() {
+        let c = Cmap::with_shards(DEFAULT_SHARDS, 128);
+        let m = CmapMsg::new(7, Directive::Invalidate, &ProcSet::single(100));
+        c.post(Arc::clone(&m));
+        assert!(c.pending_for(0).is_empty());
+        let q = c.pending_for(100);
+        assert_eq!(q.len(), 1);
+        m.ack(100, 9);
+        assert!(c.pending_for(100).is_empty());
+        assert_eq!(m.ack_time(), 9);
+    }
+
+    #[test]
     fn acked_messages_are_compacted_not_delivered() {
         let c = Cmap::new();
-        let m = CmapMsg::new(9, Directive::RestrictToRead, 0b11);
+        let m = CmapMsg::new(9, Directive::RestrictToRead, &ProcSet::from_mask(0b11));
         c.post(Arc::clone(&m));
         // Target 1 somehow applied the change before draining (e.g. the
         // mapping was torn down); its queue must not re-deliver.
@@ -384,8 +448,8 @@ mod tests {
     #[test]
     fn insert_race_returns_existing() {
         let c = Cmap::new();
-        let a = c.insert(9, CmapEntry::new(CpageId(1), Rights::RO));
-        let b = c.insert(9, CmapEntry::new(CpageId(2), Rights::RW));
+        let a = c.insert(9, c.make_entry(CpageId(1), Rights::RO));
+        let b = c.insert(9, c.make_entry(CpageId(2), Rights::RW));
         assert!(Arc::ptr_eq(&a, &b), "second insert must not replace");
         assert_eq!(b.cpage, CpageId(1));
         assert!(c.remove(9).is_some());
@@ -395,10 +459,10 @@ mod tests {
     #[test]
     fn sharding_is_transparent() {
         for shards in [1usize, 4, 16] {
-            let c = Cmap::with_shards(shards);
+            let c = Cmap::with_shards(shards, 64);
             assert_eq!(c.nshards(), shards);
             for vpn in 0..40u64 {
-                c.insert(vpn, CmapEntry::new(CpageId(vpn), Rights::RW));
+                c.insert(vpn, c.make_entry(CpageId(vpn), Rights::RW));
             }
             let mut snap = c.snapshot();
             snap.sort_by_key(|(v, _)| *v);
@@ -416,6 +480,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_shard_count_panics() {
-        let _ = Cmap::with_shards(12);
+        let _ = Cmap::with_shards(12, 16);
     }
 }

@@ -2,7 +2,7 @@
 
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
-use numa_machine::PhysPage;
+use numa_machine::{PhysPage, ProcSet};
 
 use crate::ids::{AsId, CpageId};
 
@@ -36,14 +36,14 @@ pub struct CpageInner {
     pub state: CpState,
     /// Directory: the physical pages backing this Cpage.
     pub copies: Vec<PhysPage>,
-    /// Directory: bitmask of memory modules holding a copy.
-    pub copies_mask: u64,
+    /// Directory: the set of memory modules holding a copy.
+    pub copies_mask: ProcSet,
     /// Processors currently granted a *writable* virtual-to-physical
     /// mapping (nonzero only in the `modified` state). The directory
     /// "indicates whether there is a virtual-to-physical translation
     /// allowing write access" (§2.3); tracking the holders lets the
     /// restrict shootdown interrupt only the writers.
-    pub writer_mask: u64,
+    pub writer_mask: ProcSet,
     /// Virtual time of the most recent invalidation performed by the
     /// coherency protocol, if any. Drives the replication policy (§4.2).
     pub last_invalidation: Option<u64>,
@@ -53,7 +53,7 @@ pub struct CpageInner {
     /// Processors whose Pmap maps a copy *not* on their own node (remote
     /// mappings created for frozen/unreplicated pages); used to target
     /// shootdowns precisely.
-    pub remote_map_mask: u64,
+    pub remote_map_mask: ProcSet,
     /// Every (address space, virtual page) this Cpage is bound at. A
     /// protocol shootdown "must affect every address space in which the
     /// Cpage is mapped" (§3.1).
@@ -80,11 +80,11 @@ impl CpageInner {
         Self {
             state: CpState::Empty,
             copies: Vec::new(),
-            copies_mask: 0,
-            writer_mask: 0,
+            copies_mask: ProcSet::empty(),
+            writer_mask: ProcSet::empty(),
             last_invalidation: None,
             frozen: false,
-            remote_map_mask: 0,
+            remote_map_mask: ProcSet::empty(),
             bindings: Vec::new(),
             migrations: 0,
             faults: 0,
@@ -98,13 +98,13 @@ impl CpageInner {
     /// Whether some virtual-to-physical mapping currently allows writes.
     #[inline]
     pub fn has_writer(&self) -> bool {
-        self.writer_mask != 0
+        !self.writer_mask.is_empty()
     }
 
     /// Whether a copy exists on `module`.
     #[inline]
     pub fn has_copy_on(&self, module: usize) -> bool {
-        self.copies_mask & (1u64 << module) != 0
+        self.copies_mask.contains(module)
     }
 
     /// The copy on `module`, if any.
@@ -127,7 +127,7 @@ impl CpageInner {
             "duplicate copy of a Cpage on module {}",
             pp.module_id()
         );
-        self.copies_mask |= 1u64 << pp.module_id();
+        self.copies_mask.insert(pp.module_id());
         self.copies.push(pp);
     }
 
@@ -142,17 +142,17 @@ impl CpageInner {
             .iter()
             .position(|pp| pp.module_id() == module)
             .expect("removing a copy that does not exist");
-        self.copies_mask &= !(1u64 << module);
+        self.copies_mask.remove(module);
         self.copies.swap_remove(idx)
     }
 
     /// Checks the internal invariants that the protocol maintains; test
     /// and debug support.
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
-        let mask_count = self.copies_mask.count_ones() as usize;
+        let mask_count = self.copies_mask.count();
         if mask_count != self.copies.len() {
             return Err(format!(
-                "directory mask has {mask_count} bits but {} copies listed",
+                "directory mask has {mask_count} members but {} copies listed",
                 self.copies.len()
             ));
         }
@@ -371,13 +371,13 @@ mod tests {
             "modified needs exactly 1 copy"
         );
         g.remove_copy_on(1);
-        g.writer_mask = 1;
+        g.writer_mask = ProcSet::single(0);
         g.check_invariants().unwrap();
 
         g.frozen = true;
         g.check_invariants().unwrap();
         g.state = CpState::Present1;
-        g.writer_mask = 0;
+        g.writer_mask = ProcSet::empty();
         assert!(
             g.check_invariants().is_err(),
             "frozen page must be in modified state"

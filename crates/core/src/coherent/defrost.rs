@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use numa_machine::Va;
+use numa_machine::{ProcSet, Va};
 use platinum_trace::EventKind;
 
 use crate::coherent::cmap::Directive;
@@ -26,10 +26,15 @@ use crate::ids::CpageId;
 use crate::kernel::Kernel;
 use crate::user::UserCtx;
 
-/// The defrost daemon's state: the frozen-page list and the next
-/// activation time.
+/// Number of stripes over the frozen-page list. Freezes happen on the
+/// fault path of every processor; striping by page id keeps concurrent
+/// enrollments on a big machine off one lock.
+const FROZEN_SHARDS: usize = 16;
+
+/// The defrost daemon's state: the frozen-page list (striped by page id)
+/// and the next activation time.
 pub struct DefrostState {
-    frozen: Mutex<Vec<CpageId>>,
+    frozen: Box<[Mutex<Vec<CpageId>>]>,
     next_run: AtomicU64,
     t2_ns: u64,
 }
@@ -37,16 +42,23 @@ pub struct DefrostState {
 impl DefrostState {
     /// Creates the daemon state with period `t2_ns`.
     pub fn new(t2_ns: u64) -> Self {
+        let mut frozen = Vec::with_capacity(FROZEN_SHARDS);
+        frozen.resize_with(FROZEN_SHARDS, || Mutex::new(Vec::new()));
         Self {
-            frozen: Mutex::new(Vec::new()),
+            frozen: frozen.into_boxed_slice(),
             next_run: AtomicU64::new(t2_ns),
             t2_ns,
         }
     }
 
+    #[inline]
+    fn shard(&self, id: CpageId) -> &Mutex<Vec<CpageId>> {
+        &self.frozen[(id.0 as usize) % FROZEN_SHARDS]
+    }
+
     /// Enrolls a freshly frozen page.
     pub fn enroll(&self, id: CpageId) {
-        let mut list = self.frozen.lock();
+        let mut list = self.shard(id).lock();
         if !list.contains(&id) {
             list.push(id);
         }
@@ -55,7 +67,7 @@ impl DefrostState {
     /// The number of pages currently enrolled (some may have been thawed
     /// by other means and are skipped at the next run).
     pub fn enrolled(&self) -> usize {
-        self.frozen.lock().len()
+        self.frozen.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Claims a daemon activation if `now` has crossed the next run time.
@@ -70,9 +82,14 @@ impl DefrostState {
             .is_ok()
     }
 
-    /// Takes the current frozen list, leaving it empty.
+    /// Takes the current frozen list, leaving it empty. Stripe-major
+    /// order; within a stripe, enrollment order.
     fn take(&self) -> Vec<CpageId> {
-        std::mem::take(&mut *self.frozen.lock())
+        let mut out = Vec::new();
+        for s in self.frozen.iter() {
+            out.append(&mut s.lock());
+        }
+        out
     }
 }
 
@@ -167,7 +184,8 @@ impl Kernel {
         }
         debug_assert_eq!(g.state, CpState::Modified, "frozen implies modified");
         // Invalidate all mappings, the initiator's included.
-        self.batch_post(ctx, batch, cpage.id(), g, Directive::Invalidate, u64::MAX);
+        let everyone = ProcSet::full(self.machine().nprocs());
+        self.batch_post(ctx, batch, cpage.id(), g, Directive::Invalidate, &everyone);
         let me = ctx.core.id();
         for &(as_id, vpn) in &g.bindings {
             if ctx.space().id() == as_id && ctx.pmap.remove(as_id, vpn).is_some() {
@@ -182,8 +200,8 @@ impl Kernel {
         }
         g.frozen = false;
         g.thaws += 1;
-        g.writer_mask = 0;
-        g.remote_map_mask = 0;
+        g.writer_mask.clear();
+        g.remote_map_mask.clear();
         // One copy, no writable mappings: the page re-enters present1 and
         // the next fault consults the policy with the old invalidation
         // history (thawing itself is not an invalidation).

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use numa_machine::{AccessErr, AccessKind, PhysPage, Va};
+use numa_machine::{AccessErr, AccessKind, PhysPage, ProcSet, Va};
 use platinum_faults::FaultSite;
 use platinum_trace::{EventKind, FaultResolution};
 
@@ -136,7 +136,7 @@ impl Kernel {
                 .cpage_for(region.object_page(vpn), &self.cpages, ctx.core.id());
         let entry = space
             .cmap()
-            .insert(vpn, CmapEntry::new(cpage_id, region.rights));
+            .insert(vpn, space.cmap().make_entry(cpage_id, region.rights));
         // Record the binding so protocol shootdowns reach every address
         // space this page is mapped in (§3.1).
         let cpage = self.cpages.get(cpage_id).expect("fresh cpage exists");
@@ -186,7 +186,7 @@ impl Kernel {
                 let home = self
                     .policy()
                     .place_first_touch(me, vpn, self.machine().nprocs());
-                let pp = self.alloc_frame(ctx, home, cpage, 0)?;
+                let pp = self.alloc_frame(ctx, home, cpage, &ProcSet::empty())?;
                 self.charge_zero_fill(ctx);
                 g.add_copy(pp);
                 g.state = CpState::Present1;
@@ -210,7 +210,7 @@ impl Kernel {
                     FaultAction::RemoteMap { freeze } => {
                         let pp = g.copies[0];
                         self.freeze_if_needed(ctx, cpage, g, freeze);
-                        g.remote_map_mask |= 1u64 << me;
+                        g.remote_map_mask.insert(me);
                         self.record(
                             me,
                             ctx.core.vtime(),
@@ -281,8 +281,9 @@ impl Kernel {
             // Other copies exist: drop the corrupt replica. The
             // module-selective shootdown removes every translation into
             // the dead frame; ours is excluded and handled inline.
-            self.drop_own_mapping_into(ctx, g, 1u64 << me);
-            self.invalidate_copies(ctx, cpage, g, 1u64 << me)?;
+            let mine = ProcSet::single(me);
+            self.drop_own_mapping_into(ctx, g, &mine);
+            self.invalidate_copies(ctx, cpage, g, &mine)?;
             if g.copies.len() == 1 {
                 g.state = CpState::Present1;
             }
@@ -339,15 +340,15 @@ impl Kernel {
             // "The handler uses the shootdown mechanism to restrict all
             // virtual-to-physical translations for the Cpage to read-only
             // access" (§3.3).
-            let writers = g.writer_mask & !(1u64 << me);
-            if writers != 0 {
-                self.shootdown(ctx, cpage.id(), g, Directive::RestrictToRead, writers);
+            let writers = g.writer_mask.without(me);
+            if !writers.is_empty() {
+                self.shootdown(ctx, cpage.id(), g, Directive::RestrictToRead, &writers);
             }
             // Restrict own writable mapping, if any.
             ctx.pmap.restrict_to_read(ctx.space().id(), vpn);
             let asid = ctx.space().asid();
             ctx.core.atc().restrict_to_read(asid, vpn);
-            g.writer_mask = 0;
+            g.writer_mask.clear();
             g.state = CpState::Present1;
         }
         if g.frozen {
@@ -364,7 +365,7 @@ impl Kernel {
         // logarithmic fan-out instead of serializing every transfer at
         // one source engine.
         let src = g.copies[me % g.copies.len()];
-        let pp = self.alloc_frame(ctx, me, cpage, g.copies_mask)?;
+        let pp = self.alloc_frame(ctx, me, cpage, &g.copies_mask)?;
         let src = self.copy_page(ctx, cpage, g, src, pp);
         g.add_copy(pp);
         g.state = if g.copies.len() >= 2 {
@@ -398,7 +399,6 @@ impl Kernel {
         vpn: u64,
     ) -> Result<FaultResolution> {
         let me = ctx.core.id();
-        let my_bit = 1u64 << me;
 
         if let Some(local_pp) = g.copy_on(me) {
             return match g.state {
@@ -417,8 +417,8 @@ impl Kernel {
                 CpState::PresentPlus => {
                     // Local copy survives; invalidate and reclaim every
                     // other replica (§3.3).
-                    let dying = g.copies_mask & !my_bit;
-                    let escalated = self.invalidate_copies(ctx, cpage, g, dying)?;
+                    let dying = g.copies_mask.without(me);
+                    let escalated = self.invalidate_copies(ctx, cpage, g, &dying)?;
                     g.state = CpState::Modified;
                     g.last_invalidation = Some(ctx.core.vtime());
                     if escalated {
@@ -443,7 +443,7 @@ impl Kernel {
             let home = self
                 .policy()
                 .place_first_touch(me, vpn, self.machine().nprocs());
-            let pp = self.alloc_frame(ctx, home, cpage, 0)?;
+            let pp = self.alloc_frame(ctx, home, cpage, &ProcSet::empty())?;
             self.charge_zero_fill(ctx);
             g.add_copy(pp);
             g.state = CpState::Modified;
@@ -471,8 +471,8 @@ impl Kernel {
                 let mut escalated = false;
                 if g.state == CpState::PresentPlus {
                     let survivor = g.copies[0];
-                    let dying = g.copies_mask & !(1u64 << survivor.module_id());
-                    escalated = self.invalidate_copies(ctx, cpage, g, dying)?;
+                    let dying = g.copies_mask.without(survivor.module_id());
+                    escalated = self.invalidate_copies(ctx, cpage, g, &dying)?;
                     g.last_invalidation = Some(ctx.core.vtime());
                     self.record(
                         me,
@@ -489,7 +489,7 @@ impl Kernel {
                 if escalated {
                     self.freeze_degraded(ctx, cpage, g);
                 }
-                g.remote_map_mask |= my_bit;
+                g.remote_map_mask.insert(me);
                 self.record(
                     me,
                     ctx.core.vtime(),
@@ -519,15 +519,15 @@ impl Kernel {
         write: bool,
     ) -> Result<FaultResolution> {
         let me = ctx.core.id();
-        let my_bit = 1u64 << me;
         // Copy sources are stable: either read-only replicas or a single
         // modified copy whose writers we are about to invalidate — and no
         // writer can race us while we hold the page lock, because
         // granting write access requires this lock.
         let src = g.copies[0];
-        let pp = self.alloc_frame(ctx, me, cpage, g.copies_mask)?;
+        let pp = self.alloc_frame(ctx, me, cpage, &g.copies_mask)?;
         // Invalidate every translation to the old copies, ours included.
-        let dying = g.copies_mask;
+        let dying = g.copies_mask.clone();
+        let everyone_else = ProcSet::full(self.machine().nprocs()).without(me);
         let mut batch = ctx.take_batch();
         self.batch_post(
             ctx,
@@ -535,7 +535,7 @@ impl Kernel {
             cpage.id(),
             g,
             Directive::Invalidate,
-            !my_bit,
+            &everyone_else,
         );
         cpage.signal().set_epoch();
         if ctx.pmap.remove(ctx.space().id(), vpn).is_some() {
@@ -549,7 +549,7 @@ impl Kernel {
         // wait is a real-time handshake that charges nothing — so the
         // overlap is pure host-time overlap.
         let out;
-        let src = if g.writer_mask & batch.awaited_mask() == 0 {
+        let src = if !g.writer_mask.intersects(&batch.awaited()) {
             cpage.signal().set_transfer();
             let src = self.copy_page(ctx, cpage, g, src, pp);
             cpage.signal().clear_transfer();
@@ -560,9 +560,9 @@ impl Kernel {
             self.copy_page(ctx, cpage, g, src, pp)
         };
         ctx.put_batch(batch);
-        self.reclaim_copies(ctx, cpage, g, dying)?;
-        g.writer_mask = 0;
-        g.remote_map_mask = 0;
+        self.reclaim_copies(ctx, cpage, g, &dying)?;
+        g.writer_mask.clear();
+        g.remote_map_mask.clear();
         g.add_copy(pp);
         g.state = if write {
             CpState::Modified
@@ -603,7 +603,7 @@ impl Kernel {
         Ok(FaultResolution::Migrated)
     }
 
-    /// Invalidates the translations pointing into `dying` (a module mask)
+    /// Invalidates the translations pointing into `dying` (a module set)
     /// and reclaims those frames. Translations to surviving copies are
     /// left alone thanks to the module-selective directive. Returns
     /// whether the shootdown escalated (a dropped-ack ladder exhausted
@@ -614,18 +614,18 @@ impl Kernel {
         ctx: &mut UserCtx,
         cpage: &Cpage,
         g: &mut CpageInner,
-        dying: u64,
+        dying: &ProcSet,
     ) -> Result<bool> {
         // Target processors on the dying modules plus any processor known
         // to hold a remote mapping (§3.1: the target set "is restricted to
         // those that are actually using a mapping for this Cpage").
-        let filter = dying | g.remote_map_mask;
+        let filter = dying.union(&g.remote_map_mask);
         let out = self.shootdown(
             ctx,
             cpage.id(),
             g,
-            Directive::InvalidateModules(dying),
-            filter,
+            Directive::InvalidateModules(dying.clone()),
+            &filter,
         );
         self.reclaim_copies(ctx, cpage, g, dying)?;
         Ok(out.escalated)
@@ -637,7 +637,7 @@ impl Kernel {
         ctx: &mut UserCtx,
         cpage: &Cpage,
         g: &mut CpageInner,
-        mask: u64,
+        mask: &ProcSet,
     ) -> Result<()> {
         // A transfer sourced from this directory must never overlap frame
         // reclamation: the copy engine could read a frame that is already
@@ -649,7 +649,7 @@ impl Kernel {
             g.copies
                 .iter()
                 .copied()
-                .filter(|pp| mask & (1u64 << pp.module_id()) != 0),
+                .filter(|pp| mask.contains(pp.module_id())),
         );
         for &pp in &dying {
             g.remove_copy_on(pp.module_id());
@@ -738,16 +738,16 @@ impl Kernel {
         ctx.core.atc_insert(asid, vpn, pp, writable);
         entry.set_ref(me);
         if writable {
-            g.writer_mask |= 1u64 << me;
+            g.writer_mask.insert(me);
             debug_assert_eq!(g.state, CpState::Modified);
         }
         if pp.module_id() == me {
-            g.remote_map_mask &= !(1u64 << me);
+            g.remote_map_mask.remove(me);
         } else {
             // Remote frame: make sure module-selective shootdowns reach
             // us. Fault paths pre-set this bit; allocation fallback can
             // also land a "local" placement on another module.
-            g.remote_map_mask |= 1u64 << me;
+            g.remote_map_mask.insert(me);
         }
         debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
         self.hostprof.end(HostPhase::Directory, span);
@@ -866,7 +866,7 @@ impl Kernel {
     /// inverted page table. Under memory pressure, evicts replicas of
     /// other pages from a module before giving up on it; a module that
     /// cannot yield a frame — or that the fault plan makes refuse — is
-    /// skipped for the next one in ring order. `avoid` is a module mask
+    /// skipped for the next one in ring order. `avoid` is a module set
     /// to never place on (the existing directory copies, so a replica
     /// cannot double up on a module). [`KernelError::OutOfMemory`] only
     /// when every eligible module refuses.
@@ -875,7 +875,7 @@ impl Kernel {
         ctx: &mut UserCtx,
         node: usize,
         cpage: &Cpage,
-        avoid: u64,
+        avoid: &ProcSet,
     ) -> Result<PhysPage> {
         let n = self.machine().nprocs(); // one memory module per node
         let plan = self.fault_plan();
@@ -888,7 +888,7 @@ impl Kernel {
         let passes = if plan.is_some() { 2 } else { 1 };
         for (pass, i) in (0..passes * n).map(|k| (k / n, k % n)) {
             let m = (node + i) % n;
-            if avoid & (1u64 << m) != 0 {
+            if avoid.contains(m) {
                 continue;
             }
             if let Some(plan) = plan {

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use numa_machine::{AccessKind, Va};
+use numa_machine::{AccessKind, ProcSet, Va};
 use parking_lot::MutexGuard;
 use platinum_trace::EventKind;
 
@@ -24,15 +24,17 @@ use crate::kernel::Kernel;
 use crate::user::UserCtx;
 use crate::vm::object::MemoryObject;
 
-/// Round-robin clock hand for replica eviction, shared by all processors.
+/// Round-robin clock hands for replica eviction — one per node, so
+/// reclaim scans on different modules never contend on one cache line
+/// and each module's hand sweeps its own frames fairly.
 pub(crate) struct ReclaimState {
-    hand: AtomicUsize,
+    hands: Box<[AtomicUsize]>,
 }
 
 impl ReclaimState {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(nodes: usize) -> Self {
         Self {
-            hand: AtomicUsize::new(0),
+            hands: (0..nodes.max(1)).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 }
@@ -91,8 +93,8 @@ impl Kernel {
             // binding. Message-based, like any mapping restriction; the
             // directive is posted to this space's queue so only this
             // space's translations die.
-            let targets = entry.refs() & !(1u64 << me);
-            if targets != 0 {
+            let targets = entry.refs().without(me);
+            if !targets.is_empty() {
                 self.batch_post_space(
                     ctx,
                     &mut batch,
@@ -100,15 +102,15 @@ impl Kernel {
                     &space,
                     *vpn,
                     Directive::Invalidate,
-                    targets,
+                    &targets,
                 );
             }
             if ctx.pmap.remove(space.id(), *vpn).is_some() {
                 let asid = space.asid();
                 ctx.core.atc().invalidate(asid, *vpn);
             }
-            g.writer_mask = 0;
-            g.remote_map_mask = 0;
+            g.writer_mask.clear();
+            g.remote_map_mask.clear();
             self.charge_refs(ctx, space.home(), self.config().costs.post_msg_refs);
         }
         self.batch_flush(ctx, &mut batch);
@@ -156,8 +158,8 @@ impl Kernel {
                 );
             }
             g.state = CpState::Empty;
-            g.writer_mask = 0;
-            g.remote_map_mask = 0;
+            g.writer_mask.clear();
+            g.remote_map_mask.clear();
             g.frozen = false;
             debug_assert!(g.check_invariants().is_ok());
         }
@@ -175,7 +177,7 @@ impl Kernel {
         if total == 0 {
             return false;
         }
-        let start = self.reclaim.hand.fetch_add(1, Ordering::Relaxed);
+        let start = self.reclaim.hands[node].fetch_add(1, Ordering::Relaxed);
         for i in 0..total {
             let idx = (start + i) % total;
             let Some(cpage) = self.cpages.get(CpageId(idx as u64)) else {
@@ -193,18 +195,18 @@ impl Kernel {
                 continue;
             }
             debug_assert_eq!(g.state, CpState::PresentPlus);
-            let victim_mask = 1u64 << node;
-            let filter = victim_mask | g.remote_map_mask;
+            let victim = ProcSet::single(node);
+            let filter = victim.union(&g.remote_map_mask);
             let id = cpage.id();
             self.shootdown(
                 ctx,
                 id,
                 &g,
-                Directive::InvalidateModules(victim_mask),
-                filter,
+                Directive::InvalidateModules(victim.clone()),
+                &filter,
             );
             // Our own translation may point at the dying copy.
-            self.drop_own_mapping_into(ctx, &g, victim_mask);
+            self.drop_own_mapping_into(ctx, &g, &victim);
             let pp = g.remove_copy_on(node);
             ctx.core.charge_kernel_ref(node, AccessKind::Read);
             ctx.core.charge_kernel_ref(node, AccessKind::Write);
@@ -236,12 +238,12 @@ impl Kernel {
     }
 
     /// Removes the calling processor's own translations that point into
-    /// the module mask (the shootdown mechanism excludes the initiator).
+    /// the module set (the shootdown mechanism excludes the initiator).
     pub(crate) fn drop_own_mapping_into(
         &self,
         ctx: &mut UserCtx,
         g: &crate::coherent::cpage::CpageInner,
-        module_mask: u64,
+        modules: &ProcSet,
     ) {
         let me_space = ctx.space().id();
         let asid = ctx.space().asid();
@@ -252,7 +254,7 @@ impl Kernel {
             let points_in = ctx
                 .pmap
                 .lookup(as_id, vpn)
-                .map(|e| module_mask & (1u64 << e.pp.module_id()) != 0)
+                .map(|e| modules.contains(e.pp.module_id()))
                 .unwrap_or(false);
             if points_in {
                 ctx.pmap.remove(as_id, vpn);

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use crate::coherent::cmap::{CmapMsg, Directive};
 use crate::coherent::shootdown::ShootdownBatch;
-use numa_machine::{PhysPage, Vpn};
+use numa_machine::{PhysPage, ProcSet, Vpn};
 
 /// Upper bound on pooled messages per processor. The steady state cycles
 /// through two entries (the queue's retain-compaction holds the previous
@@ -51,7 +51,7 @@ impl FaultScratch {
         &mut self,
         vpn: Vpn,
         directive: Directive,
-        targets: u64,
+        targets: &ProcSet,
     ) -> Arc<CmapMsg> {
         for slot in &mut self.msg_pool {
             if let Some(msg) = Arc::get_mut(slot) {
@@ -74,25 +74,25 @@ mod tests {
     #[test]
     fn pool_recycles_exclusive_messages() {
         let mut s = FaultScratch::default();
-        let a = s.alloc_msg(1, Directive::Invalidate, 0b10);
+        let a = s.alloc_msg(1, Directive::Invalidate, &ProcSet::from_mask(0b10));
         let first = Arc::as_ptr(&a);
         // Still shared with the caller: a second request must not reuse it.
-        let b = s.alloc_msg(2, Directive::RestrictToRead, 0b100);
+        let b = s.alloc_msg(2, Directive::RestrictToRead, &ProcSet::from_mask(0b100));
         assert_ne!(first, Arc::as_ptr(&b));
         drop(a);
         drop(b);
         // Both released: the next request rewrites a pooled message.
-        let c = s.alloc_msg(3, Directive::Invalidate, 0b1000);
+        let c = s.alloc_msg(3, Directive::Invalidate, &ProcSet::from_mask(0b1000));
         assert_eq!(first, Arc::as_ptr(&c));
         assert_eq!(c.vpn, 3);
-        assert_eq!(c.pending(), 0b1000);
+        assert_eq!(c.pending(), ProcSet::from_mask(0b1000));
     }
 
     #[test]
     fn pool_is_bounded() {
         let mut s = FaultScratch::default();
         let held: Vec<_> = (0..2 * MSG_POOL_CAP as u64)
-            .map(|i| s.alloc_msg(i, Directive::Invalidate, 1))
+            .map(|i| s.alloc_msg(i, Directive::Invalidate, &ProcSet::single(0)))
             .collect();
         assert_eq!(s.msg_pool.len(), MSG_POOL_CAP);
         drop(held);

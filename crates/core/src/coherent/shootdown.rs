@@ -33,7 +33,7 @@
 
 use std::sync::Arc;
 
-use numa_machine::{procs_in_mask, AccessKind, PhysPage};
+use numa_machine::{AccessKind, PhysPage, ProcSet};
 
 use platinum_faults::FaultSite;
 use platinum_trace::EventKind;
@@ -81,9 +81,9 @@ pub struct ShootdownOutcome {
 /// [`FaultScratch`]: crate::coherent::scratch::FaultScratch
 #[derive(Default)]
 pub(crate) struct ShootdownBatch {
-    /// Posted messages and, for each, the mask of *active* targets the
+    /// Posted messages and, for each, the set of *active* targets the
     /// flush must wait on.
-    posted: Vec<(Arc<CmapMsg>, u64)>,
+    posted: Vec<(Arc<CmapMsg>, ProcSet)>,
     /// Per-page scratch for targets whose IPI was dropped by fault
     /// injection; drained by the recovery ladder within each post.
     dropped: Vec<usize>,
@@ -94,9 +94,11 @@ pub(crate) struct ShootdownBatch {
 }
 
 impl ShootdownBatch {
-    /// Union of the active-target masks the flush will wait on.
-    pub(crate) fn awaited_mask(&self) -> u64 {
-        self.posted.iter().fold(0, |acc, (_, a)| acc | a)
+    /// Union of the active-target sets the flush will wait on.
+    pub(crate) fn awaited(&self) -> ProcSet {
+        self.posted
+            .iter()
+            .fold(ProcSet::empty(), |acc, (_, a)| acc.union(a))
     }
 
     /// Resets the accounting and buffers for reuse, keeping capacity.
@@ -113,9 +115,8 @@ impl ShootdownBatch {
 impl Kernel {
     /// Initiates a shootdown for the coherent page whose inner state is
     /// `g`, posting `directive` to every address space the page is bound
-    /// in. Only processors in `filter` (a processor bitmask) are
-    /// targeted; the initiator is always excluded and handles its own
-    /// mappings inline.
+    /// in. Only processors in `filter` are targeted; the initiator is
+    /// always excluded and handles its own mappings inline.
     ///
     /// Blocks (polling its own IPI doorbell, so concurrent initiators
     /// cannot deadlock) until every *active* target acknowledged. After
@@ -127,7 +128,7 @@ impl Kernel {
         page: CpageId,
         g: &CpageInner,
         directive: Directive,
-        filter: u64,
+        filter: &ProcSet,
     ) -> ShootdownOutcome {
         let mut batch = ctx.take_batch();
         self.batch_post(ctx, &mut batch, page, g, directive, filter);
@@ -149,15 +150,14 @@ impl Kernel {
         page: CpageId,
         g: &CpageInner,
         directive: Directive,
-        filter: u64,
+        filter: &ProcSet,
     ) {
         let span = self.hostprof.begin();
         let me = ctx.core.id();
-        let my_bit = 1u64 << me;
         let costs = &self.config().costs;
         let mach_mode = self.config().shootdown == ShootdownMode::SharedPmapStall;
 
-        let mut all_targets = 0u64;
+        let mut all_targets = ProcSet::empty();
         batch.dropped.clear();
 
         for bi in 0..g.bindings.len() {
@@ -175,12 +175,12 @@ impl Kernel {
             let Some(refs) = space.cmap().refs_of(vpn) else {
                 continue;
             };
-            let targets = refs & filter & !my_bit;
-            if targets == 0 {
+            let targets = refs.intersect(filter).without(me);
+            if targets.is_empty() {
                 continue;
             }
-            all_targets |= targets;
-            let msg = ctx.alloc_msg(vpn, directive, targets);
+            all_targets.insert_all(&targets);
+            let msg = ctx.alloc_msg(vpn, directive.clone(), &targets);
             self.charge_refs_at(ctx, space.home(), costs.post_msg_refs, AccessKind::Write);
             space.cmap().post(Arc::clone(&msg));
 
@@ -189,7 +189,7 @@ impl Kernel {
             // ordering pairs this check against concurrent
             // (de)activation: whoever sees the other's effect first, the
             // message is never missed.
-            let mut awaited = 0u64;
+            let mut awaited = ProcSet::empty();
             if mach_mode {
                 // Mach comparator: every processor with the space active
                 // is interrupted and stalled, referenced or not.
@@ -202,8 +202,8 @@ impl Kernel {
                             .charge(self.machine().cfg().timing.ipi_ns + costs.mach_stall_extra_ns);
                         self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                         batch.ipis += 1;
-                        if targets & (1u64 << p) != 0 {
-                            awaited |= 1u64 << p;
+                        if targets.contains(p) {
+                            awaited.insert(p);
                             if self.ipi_lost(ctx.core.vtime(), p) {
                                 batch.dropped.push(p);
                                 continue;
@@ -213,12 +213,12 @@ impl Kernel {
                     }
                 }
             } else {
-                for p in procs_in_mask(targets) {
+                for p in targets.iter() {
                     if self.slots[p].active.is_active(as_id.0) {
                         ctx.core.charge(self.machine().cfg().timing.ipi_ns);
                         self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                         batch.ipis += 1;
-                        awaited |= 1u64 << p;
+                        awaited.insert(p);
                         if self.ipi_lost(ctx.core.vtime(), p) {
                             batch.dropped.push(p);
                             continue;
@@ -230,12 +230,12 @@ impl Kernel {
             batch.posted.push((msg, awaited));
         }
 
-        self.finish_post(ctx, batch, page, directive, all_targets);
+        self.finish_post(ctx, batch, page, &directive, &all_targets);
         self.hostprof.end(HostPhase::Shootdown, span);
     }
 
     /// Posts `directive` for one page to a *single* address space with an
-    /// explicit target mask — the unmap path, where the Cmap entry and
+    /// explicit target set — the unmap path, where the Cmap entry and
     /// the binding are already torn down and only this space's
     /// translations die.
     #[allow(clippy::too_many_arguments)]
@@ -247,20 +247,20 @@ impl Kernel {
         space: &crate::vm::space::AddressSpace,
         vpn: u64,
         directive: Directive,
-        targets: u64,
+        targets: &ProcSet,
     ) {
         let span = self.hostprof.begin();
         let me = ctx.core.id();
         batch.dropped.clear();
-        let msg = ctx.alloc_msg(vpn, directive, targets);
+        let msg = ctx.alloc_msg(vpn, directive.clone(), targets);
         space.cmap().post(Arc::clone(&msg));
-        let mut awaited = 0u64;
-        for p in procs_in_mask(targets) {
+        let mut awaited = ProcSet::empty();
+        for p in targets.iter() {
             if self.slots[p].active.is_active(space.id().0) {
                 ctx.core.charge(self.machine().cfg().timing.ipi_ns);
                 self.record(me, ctx.core.vtime(), EventKind::Ipi, 0, page.0, p as u64);
                 batch.ipis += 1;
-                awaited |= 1u64 << p;
+                awaited.insert(p);
                 if self.ipi_lost(ctx.core.vtime(), p) {
                     batch.dropped.push(p);
                     continue;
@@ -269,7 +269,7 @@ impl Kernel {
             }
         }
         batch.posted.push((msg, awaited));
-        self.finish_post(ctx, batch, page, directive, targets);
+        self.finish_post(ctx, batch, page, &directive, targets);
         self.hostprof.end(HostPhase::Shootdown, span);
     }
 
@@ -283,8 +283,8 @@ impl Kernel {
         ctx: &mut UserCtx,
         batch: &mut ShootdownBatch,
         page: CpageId,
-        directive: Directive,
-        all_targets: u64,
+        directive: &Directive,
+        all_targets: &ProcSet,
     ) {
         // Counted per shootdown page, like the IPIs above are counted per
         // interrupt: the ShootdownInit count is the number of shootdown
@@ -300,9 +300,9 @@ impl Kernel {
             EventKind::ShootdownInit,
             code,
             page.0,
-            u64::from(all_targets.count_ones()),
+            all_targets.count() as u64,
         );
-        batch.targets += all_targets.count_ones();
+        batch.targets += all_targets.count() as u32;
         batch.pages += 1;
 
         // Resolve any IPIs lost to fault injection before moving on: the
@@ -340,10 +340,10 @@ impl Kernel {
         let mut rounds = 0u32;
         for (msg, awaited) in &batch.posted {
             let mut spins = 0u32;
-            if msg.pending() & awaited != 0 {
+            if msg.pending_intersects(awaited) {
                 rounds = 1;
             }
-            while msg.pending() & awaited != 0 {
+            while msg.pending_intersects(awaited) {
                 if ctx.core.take_ipi() {
                     ctx.drain_messages();
                 }
@@ -452,7 +452,7 @@ impl Kernel {
 mod tests {
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    use numa_machine::{AccessCounters, Machine, MachineConfig, Mem};
+    use numa_machine::{procs_in_mask, AccessCounters, Machine, MachineConfig, Mem};
     use parking_lot::MutexGuard;
     use platinum_trace::{TraceConfig, Tracer};
     use proptest::prelude::*;
@@ -531,7 +531,7 @@ mod tests {
         vtimes: Vec<u64>,
         counters: Vec<AccessCounters>,
         stats: StatsSnapshot,
-        refs: Vec<(usize, u64)>,
+        refs: Vec<(usize, ProcSet)>,
         events: Vec<(u16, u64, u8, u8, u64, u64)>,
         outcome: ShootdownOutcome,
     }
@@ -643,7 +643,14 @@ mod tests {
                 let mut batch = ctx0.take_batch();
                 for (i, cpage) in cpages.iter().enumerate() {
                     let g = guards[i].as_ref().expect("locked above");
-                    kernel.batch_post(&mut ctx0, &mut batch, cpage.id(), g, directive, !0);
+                    kernel.batch_post(
+                        &mut ctx0,
+                        &mut batch,
+                        cpage.id(),
+                        g,
+                        directive.clone(),
+                        &ProcSet::full(sc.procs),
+                    );
                 }
                 let out = kernel.batch_flush(&mut ctx0, &mut batch);
                 ctx0.put_batch(batch);
@@ -652,7 +659,13 @@ mod tests {
                 let mut sum = ShootdownOutcome::default();
                 for cpage in &cpages {
                     let g = kernel.lock_cpage(&mut ctx0, cpage);
-                    let out = kernel.shootdown(&mut ctx0, cpage.id(), &g, directive, !0);
+                    let out = kernel.shootdown(
+                        &mut ctx0,
+                        cpage.id(),
+                        &g,
+                        directive.clone(),
+                        &ProcSet::full(sc.procs),
+                    );
                     sum.targets += out.targets;
                     sum.ipis += out.ipis;
                     sum.pages += out.pages;

@@ -151,7 +151,7 @@ impl Kernel {
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let defrost = DefrostState::new(cfg.t2_defrost_ns);
-        let reclaim = ReclaimState::new();
+        let reclaim = ReclaimState::new(machine.nprocs());
         Arc::new(Self {
             machine,
             cfg,
@@ -230,6 +230,7 @@ impl Kernel {
             home,
             self.machine.cfg().page_shift,
             self.cfg.cmap_shards,
+            self.machine.nprocs(),
         ));
         spaces.push(Arc::clone(&space));
         space

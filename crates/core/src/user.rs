@@ -3,7 +3,9 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use numa_machine::{AccessErr, AccessKind, FastPath, Frame, Mem, PhysPage, ProcCore, Va, Vpn};
+use numa_machine::{
+    AccessErr, AccessKind, FastPath, Frame, Mem, PhysPage, ProcCore, ProcSet, Va, Vpn,
+};
 use platinum_trace::EventKind;
 
 use crate::coherent::cmap::{CmapMsg, Directive};
@@ -212,18 +214,18 @@ impl UserCtx {
                 Directive::InvalidateModules(_) => 1,
                 Directive::RestrictToRead => 2,
             };
-            match m.directive {
+            match &m.directive {
                 Directive::Invalidate => {
                     if self.pmap.remove(space_id, m.vpn).is_some() {
                         self.space.cmap().with_entry(m.vpn, |e| e.clear_ref(me));
                     }
                     self.core.atc().invalidate(self.space.asid(), m.vpn);
                 }
-                Directive::InvalidateModules(mask) => {
+                Directive::InvalidateModules(modules) => {
                     let points_into = self
                         .pmap
                         .lookup(space_id, m.vpn)
-                        .map(|e| mask & (1u64 << e.pp.module_id()) != 0)
+                        .map(|e| modules.contains(e.pp.module_id()))
                         .unwrap_or(false);
                     if points_into {
                         self.pmap.remove(space_id, m.vpn);
@@ -269,7 +271,7 @@ impl UserCtx {
         &mut self,
         vpn: Vpn,
         directive: Directive,
-        targets: u64,
+        targets: &ProcSet,
     ) -> Arc<CmapMsg> {
         self.scratch.alloc_msg(vpn, directive, targets)
     }

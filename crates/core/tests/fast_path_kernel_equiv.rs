@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use numa_machine::{AccessCounters, Machine, MachineConfig, Mem};
+use numa_machine::{AccessCounters, Machine, MachineConfig, Mem, ProcSet};
 use platinum::trace::{EventKind, TraceConfig, Tracer};
 use platinum::{
     AlwaysReplicate, FaultPlan, Kernel, KernelConfig, PlatinumPolicy, Rights, StatsSnapshot,
@@ -38,10 +38,10 @@ struct Observation {
     counters: Vec<AccessCounters>,
     stats: StatsSnapshot,
     values: Vec<u32>,
-    directory: Vec<(u64, u64, Rights, u64)>,
+    directory: Vec<(u64, u64, Rights, ProcSet)>,
 }
 
-fn directory_of(space: &platinum::AddressSpace) -> Vec<(u64, u64, Rights, u64)> {
+fn directory_of(space: &platinum::AddressSpace) -> Vec<(u64, u64, Rights, ProcSet)> {
     let mut dir: Vec<_> = space
         .cmap()
         .snapshot()
@@ -194,7 +194,7 @@ fn fast_path_equivalence_holds_under_injection() {
 /// with a local replica of every page). Compares the 1-shard and
 /// 16-shard directories and the per-page protocol timeline recorded by
 /// the tracer.
-type StressOutcome = (Vec<(u64, Rights, u64)>, Vec<(u64, usize)>, StatsSnapshot);
+type StressOutcome = (Vec<(u64, Rights, ProcSet)>, Vec<(u64, usize)>, StatsSnapshot);
 
 fn run_stress(cmap_shards: usize) -> StressOutcome {
     const P: usize = 8;

@@ -1,5 +1,7 @@
 //! Machine and timing configuration.
 
+use crate::topology::Topology;
+
 /// Latency and occupancy parameters of the simulated machine.
 ///
 /// Defaults are the figures the paper publishes for the 16-processor BBN
@@ -86,7 +88,7 @@ impl TimingConfig {
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Number of nodes; each node has one processor and one memory module,
-    /// as on the Butterfly Plus. At most 64.
+    /// as on the Butterfly Plus.
     pub nodes: usize,
     /// Number of page frames per memory module. The Butterfly Plus node
     /// had 4 MB; with 4 KB pages that is 1024 frames.
@@ -97,8 +99,13 @@ pub struct MachineConfig {
     /// Number of entries in each processor's address translation cache.
     /// The MC68851's on-chip ATC held 64 entries.
     pub atc_entries: usize,
-    /// Latency and occupancy parameters.
+    /// Latency and occupancy parameters. When `topology` is `None`, these
+    /// flat local/remote figures are the whole timing model.
     pub timing: TimingConfig,
+    /// Machine description for hierarchical or asymmetric interconnects.
+    /// `None` (the default) charges through [`Topology::flat`] built from
+    /// `timing`, which is bit-identical to the historical flat model.
+    pub topology: Option<Topology>,
     /// If set, conservative virtual-time coupling: a processor whose clock
     /// runs more than this many nanoseconds ahead of the slowest running
     /// processor stalls until the others catch up. Keeps the replication
@@ -129,6 +136,7 @@ impl Default for MachineConfig {
             page_shift: 12,
             atc_entries: 64,
             timing: TimingConfig::default(),
+            topology: None,
             skew_window_ns: Some(2_000_000),
             publish_interval: 64,
             contention_bucket_ns: 100_000,
@@ -160,8 +168,11 @@ impl MachineConfig {
     ///
     /// Returns a description of the first problem found, if any.
     pub fn validate(&self) -> Result<(), String> {
-        if self.nodes == 0 || self.nodes > 64 {
-            return Err(format!("nodes must be 1..=64, got {}", self.nodes));
+        if self.nodes == 0 || self.nodes > 4096 {
+            return Err(format!("nodes must be 1..=4096, got {}", self.nodes));
+        }
+        if let Some(topo) = &self.topology {
+            topo.validate(self.nodes)?;
         }
         if self.page_shift < 4 || self.page_shift > 20 {
             return Err(format!(
@@ -224,8 +235,10 @@ mod tests {
             ..MachineConfig::default()
         };
         assert!(c.validate().is_err());
-        c.nodes = 65;
+        c.nodes = 4097;
         assert!(c.validate().is_err());
+        c.nodes = 65; // beyond the old u64-mask cap: now a valid machine
+        assert!(c.validate().is_ok());
         c.nodes = 16;
         c.atc_entries = 48;
         assert!(c.validate().is_err());
@@ -238,5 +251,14 @@ mod tests {
         c.frames_per_node = 8;
         c.timing.block_bus_fraction_pct = 150;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn topology_node_count_must_match() {
+        let mut c = MachineConfig::with_nodes(16);
+        c.topology = Some(Topology::flat(8, &c.timing));
+        assert!(c.validate().is_err());
+        c.topology = Some(Topology::hier2(16, 2, &c.timing));
+        c.validate().expect("matching topology validates");
     }
 }

@@ -40,7 +40,9 @@ pub mod frame;
 pub mod mem_iface;
 pub mod module;
 pub mod proc;
+pub mod procset;
 pub mod stats;
+pub mod topology;
 pub mod uma;
 
 mod machine;
@@ -54,4 +56,6 @@ pub use machine::Machine;
 pub use mem_iface::Mem;
 pub use module::MemoryModule;
 pub use proc::{AccessKind, FastPath, ProcCore, ProcShared};
+pub use procset::{AtomicProcSet, ProcSet};
 pub use stats::AccessCounters;
+pub use topology::{LinkTiming, Topology};

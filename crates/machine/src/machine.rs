@@ -9,6 +9,7 @@ use crate::config::MachineConfig;
 use crate::frame::Frame;
 use crate::module::MemoryModule;
 use crate::proc::{ProcShared, IDLE};
+use crate::topology::Topology;
 
 /// A simulated NUMA multiprocessor: one processor and one memory module
 /// per node, joined by a switch modelled through per-module contention
@@ -20,6 +21,10 @@ use crate::proc::{ProcShared, IDLE};
 /// on top (the `platinum` crate).
 pub struct Machine {
     cfg: MachineConfig,
+    /// The resolved machine description: `cfg.topology`, or the flat
+    /// Butterfly built from `cfg.timing` when none was given. Every
+    /// latency charge routes through this.
+    topology: Topology,
     modules: Box<[MemoryModule]>,
     shared: Box<[ProcShared]>,
     /// Protocol-event tracer, installed at most once per machine. Every
@@ -34,6 +39,10 @@ impl Machine {
     /// Returns an error string when the configuration is invalid.
     pub fn new(cfg: MachineConfig) -> Result<Arc<Self>, String> {
         cfg.validate()?;
+        let topology = cfg
+            .topology
+            .clone()
+            .unwrap_or_else(|| Topology::flat(cfg.nodes, &cfg.timing));
         let words = cfg.words_per_page();
         let modules = (0..cfg.nodes)
             .map(|n| MemoryModule::new(n, cfg.frames_per_node, words, cfg.contention_bucket_ns))
@@ -52,6 +61,7 @@ impl Machine {
         }
         Ok(Arc::new(Self {
             cfg,
+            topology,
             modules,
             shared,
             tracer,
@@ -78,6 +88,20 @@ impl Machine {
     #[inline]
     pub fn cfg(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The resolved machine description (defaults to the flat Butterfly
+    /// built from `cfg.timing`).
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Cost charged to `from` for interrupting `to` (the per-processor
+    /// IPI figure of §4, looked up through the topology).
+    #[inline]
+    pub fn ipi_cost(&self, from: usize, to: usize) -> u64 {
+        self.topology.ipi_cost(from, to)
     }
 
     /// The number of processors (== nodes == memory modules).

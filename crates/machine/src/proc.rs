@@ -5,7 +5,6 @@ use std::sync::Arc;
 
 use crate::addr::{PhysPage, ProcId, Vpn};
 use crate::atc::{Atc, AtcStats};
-use crate::config::TimingConfig;
 use crate::contention::BucketCursor;
 use crate::frame::Frame;
 use crate::machine::Machine;
@@ -92,10 +91,14 @@ pub struct ProcCore {
     /// primitive; waiting processors publish [`IDLE`] so the skew window
     /// never throttles working processors against a frozen clock.
     waiting: bool,
-    /// Copy of the machine's timing table, so the fast path charges
-    /// without chasing `Arc<Machine>` → config on every access. The
-    /// configuration is immutable after boot, so the copy never drifts.
-    timing: TimingConfig,
+    /// Per-destination word latencies, `lat[to] = [read, write, atomic]`,
+    /// resolved from the machine's [`crate::Topology`] at construction so
+    /// every charge is one array index — no `Arc<Machine>` → config chase
+    /// and no distance-class lookup on the fast path. The topology is
+    /// immutable after boot, so the rows never drift.
+    lat: Box<[[u64; 3]]>,
+    /// Per-destination memory-module service times, same resolution.
+    svc: Box<[u64]>,
     /// Cached `MachineConfig::publish_interval`, read on every access by
     /// [`ProcCore::tick`].
     publish_interval: u32,
@@ -142,7 +145,19 @@ impl ProcCore {
         assert!(id < machine.nprocs(), "processor {id} out of range");
         let atc = Atc::new(machine.cfg().atc_entries);
         machine.shared(id).publish(start);
-        let timing = machine.cfg().timing.clone();
+        let topo = machine.topology();
+        let lat = (0..machine.nprocs())
+            .map(|to| {
+                [
+                    topo.word_latency(id, to, AccessKind::Read),
+                    topo.word_latency(id, to, AccessKind::Write),
+                    topo.word_latency(id, to, AccessKind::Atomic),
+                ]
+            })
+            .collect();
+        let svc = (0..machine.nprocs())
+            .map(|to| topo.service_time(id, to))
+            .collect();
         let publish_interval = machine.cfg().publish_interval;
         let fast_enabled = machine.cfg().fast_path;
         let cursors = vec![BucketCursor::default(); machine.cfg().nodes].into_boxed_slice();
@@ -155,7 +170,8 @@ impl ProcCore {
             counters: AccessCounters::default(),
             accesses_since_publish: 0,
             waiting: false,
-            timing,
+            lat,
+            svc,
             publish_interval,
             fast_enabled,
             cursors,
@@ -317,9 +333,8 @@ impl ProcCore {
     /// caller performs the actual data movement on the frame.
     pub fn charge_word_access(&mut self, pp: PhysPage, kind: AccessKind) {
         let local = pp.module_id() == self.id;
-        let t = &self.machine.cfg().timing;
-        let latency = t.word_latency(local, kind);
-        let service = t.service_time(local);
+        let latency = self.lat[pp.module_id()][kind as usize];
+        let service = self.svc[pp.module_id()];
         let module = self.machine.module(pp.module_id());
         let start = module.reserve(self.vtime, service);
         let queue_delay = start - self.vtime;
@@ -387,8 +402,8 @@ impl ProcCore {
         // them alive for at least the returned borrow's lifetime.
         let (frame, module) = unsafe { (&*h.frame, &*h.module) };
         let local = h.local;
-        let latency = self.timing.word_latency(local, kind);
-        let service = self.timing.service_time(local);
+        let latency = self.lat[pp.module_id()][kind as usize];
+        let service = self.svc[pp.module_id()];
         let cursor = &mut self.cursors[pp.module_id()];
         let start = module.reserve_with(cursor, self.vtime, service);
         self.counters.queue_delay_ns += start - self.vtime;
@@ -434,9 +449,8 @@ impl ProcCore {
             return;
         }
         let local = pp.module_id() == self.id;
-        let t = &self.machine.cfg().timing;
-        let latency = t.word_latency(local, kind);
-        let service = t.service_time(local);
+        let latency = self.lat[pp.module_id()][kind as usize];
+        let service = self.svc[pp.module_id()];
         let bucket_ns = self.machine.cfg().contention_bucket_ns;
         let module = self.machine.module(pp.module_id());
         let mut remaining = n;
@@ -743,6 +757,41 @@ mod tests {
             f.store(3, 0xfeed);
         }
         assert_eq!(m.frame_data(local).load(3), 0xfeed);
+    }
+
+    #[test]
+    fn hierarchical_topology_charges_by_distance() {
+        use crate::config::TimingConfig;
+        use crate::topology::Topology;
+        // 4 nodes, 2 sockets x 1 die: {0,1} on socket 0, {2,3} on socket 1.
+        let mut cfg = MachineConfig {
+            nodes: 4,
+            frames_per_node: 4,
+            skew_window_ns: None,
+            ..MachineConfig::default()
+        };
+        cfg.topology = Some(Topology::hier2(4, 1, &cfg.timing));
+        let m = Machine::new(cfg).unwrap();
+        let mut core = ProcCore::new(Arc::clone(&m), 0, 0);
+        core.charge_word_access(PhysPage::new(1, 0), AccessKind::Read);
+        assert_eq!(core.vtime(), 5000, "same-socket read is 1-hop remote");
+        core.charge_word_access(PhysPage::new(2, 0), AccessKind::Read);
+        assert_eq!(core.vtime(), 5000 + 10_000, "cross-socket read is 2x");
+        core.charge_word_access(PhysPage::new(0, 0), AccessKind::Read);
+        assert_eq!(core.vtime(), 5000 + 10_000 + 320, "local unchanged");
+        // The fast path charges through the same per-destination rows.
+        let mut fast = ProcCore::new(Arc::clone(&m), 0, 0);
+        fast.atc_insert(7, 10, PhysPage::new(2, 0), false);
+        assert!(matches!(
+            fast.fast_path(7, 10, false, AccessKind::Read),
+            FastPath::Hit(_)
+        ));
+        assert_eq!(fast.vtime(), 10_000);
+        // Counters still classify by on/off node, not by hop count.
+        assert_eq!(fast.counters().remote_reads, 1);
+        let t = TimingConfig::default();
+        assert_eq!(m.ipi_cost(0, 1), t.ipi_ns);
+        assert_eq!(m.ipi_cost(0, 2), 2 * t.ipi_ns);
     }
 
     #[test]

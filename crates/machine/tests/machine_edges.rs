@@ -54,21 +54,26 @@ fn block_transfer_to_same_frame_panics() {
 }
 
 #[test]
-fn sixty_four_node_machine_boots_and_masks_work() {
-    let m = Machine::new(MachineConfig {
-        nodes: 64,
-        frames_per_node: 2,
-        skew_window_ns: None,
-        ..MachineConfig::default()
-    })
-    .unwrap();
-    assert_eq!(m.nprocs(), 64);
-    // The highest processor's bit still fits the u64 masks.
-    let mut core = ProcCore::new(Arc::clone(&m), 63, 0);
-    core.charge_word_access(PhysPage::new(63, 1), AccessKind::Write);
-    assert_eq!(core.counters().local_writes, 1);
+fn big_machines_boot_beyond_the_old_64_node_cap() {
+    for nodes in [64usize, 65, 128, 256] {
+        let m = Machine::new(MachineConfig {
+            nodes,
+            frames_per_node: 2,
+            skew_window_ns: None,
+            ..MachineConfig::default()
+        })
+        .unwrap();
+        assert_eq!(m.nprocs(), nodes);
+        // The highest processor charges locally and remotely: processor
+        // sets no longer truncate at bit 63.
+        let mut core = ProcCore::new(Arc::clone(&m), nodes - 1, 0);
+        core.charge_word_access(PhysPage::new(nodes - 1, 1), AccessKind::Write);
+        core.charge_word_access(PhysPage::new(0, 0), AccessKind::Read);
+        assert_eq!(core.counters().local_writes, 1);
+        assert_eq!(core.counters().remote_reads, 1);
+    }
     assert!(Machine::new(MachineConfig {
-        nodes: 65,
+        nodes: 4097,
         ..MachineConfig::default()
     })
     .is_err());

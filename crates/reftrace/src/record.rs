@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use numa_machine::{MachineConfig, Mem, Va};
+use numa_machine::{MachineConfig, Mem, Topology, Va};
 use parking_lot::Mutex;
 use platinum::{Kernel, PolicyKind, StatsSnapshot, UserCtx};
 use platinum_runtime::measure::{RunStats, WorkerStats};
@@ -81,13 +81,25 @@ impl Capture {
     /// per node, virtual-clock skew window disabled (serialized execution
     /// needs no throttle, and replay uses the same setting).
     pub fn new(nodes: usize) -> Self {
+        Self::on_topology(nodes, None)
+    }
+
+    /// Like [`Capture::new`] on an explicit machine description. The
+    /// trace format does not record the topology — a replay must be
+    /// handed the same one (`replay_with`) for its virtual times to
+    /// mean anything; with `None` the machine is the flat Butterfly and
+    /// plain `replay` matches.
+    pub fn on_topology(nodes: usize, topo: Option<&Topology>) -> Self {
         let mut mc = MachineConfig::with_nodes(nodes);
         mc.frames_per_node = 4096;
         mc.skew_window_ns = None;
-        let sim = SimBuilder::nodes(nodes)
+        let mut b = SimBuilder::nodes(nodes)
             .machine_config(mc)
-            .policy_kind(PolicyKind::Platinum)
-            .build();
+            .policy_kind(PolicyKind::Platinum);
+        if let Some(t) = topo {
+            b = b.topology(t.clone());
+        }
+        let sim = b.build();
         Self {
             sim,
             zones: Vec::new(),

@@ -18,7 +18,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use numa_machine::{MachineConfig, Mem};
+use numa_machine::{MachineConfig, Mem, Topology};
 use platinum::{PolicyKind, StatsSnapshot, UserCtx};
 use platinum_runtime::measure::{RunStats, WorkerStats};
 use platinum_runtime::sim::{Sim, SimBuilder};
@@ -78,15 +78,18 @@ impl ReplayOutcome {
 }
 
 /// Boots a replay machine matching the capture machine.
-fn boot(trace: &RefTrace, kind: PolicyKind) -> Sim {
+fn boot(trace: &RefTrace, kind: PolicyKind, topo: Option<&Topology>) -> Sim {
     let mut mc = MachineConfig::with_nodes(trace.nodes);
     mc.frames_per_node = trace.frames_per_node;
     mc.page_shift = trace.page_shift;
     mc.skew_window_ns = None;
-    let sim = SimBuilder::nodes(trace.nodes)
+    let mut b = SimBuilder::nodes(trace.nodes)
         .machine_config(mc)
-        .policy_kind(kind)
-        .build();
+        .policy_kind(kind);
+    if let Some(t) = topo {
+        b = b.topology(t.clone());
+    }
+    let sim = b.build();
     for &pages in &trace.zones {
         sim.alloc_zone(pages as usize);
     }
@@ -98,7 +101,14 @@ fn boot(trace: &RefTrace, kind: PolicyKind) -> Sim {
 /// counters, and a PLATINUM replay of a fresh capture reproduces the
 /// capture run bit for bit.
 pub fn replay(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
-    let sim = boot(trace, kind);
+    replay_with(trace, kind, None)
+}
+
+/// [`replay`] on an explicit machine description, which must match the
+/// capture machine's (the trace does not record it): the bit-identity
+/// guarantee holds per-topology, not across them.
+pub fn replay_with(trace: &RefTrace, kind: PolicyKind, topo: Option<&Topology>) -> ReplayOutcome {
+    let sim = boot(trace, kind, topo);
     let phases = trace
         .phases
         .iter()
@@ -130,7 +140,17 @@ pub fn replay(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
 /// counters, same kernel statistics (the tests and the `policy_matrix`
 /// self-check assert it).
 pub fn replay_par(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
-    let sim = boot(trace, kind);
+    replay_par_with(trace, kind, None)
+}
+
+/// [`replay_par`] on an explicit machine description (see
+/// [`replay_with`]).
+pub fn replay_par_with(
+    trace: &RefTrace,
+    kind: PolicyKind,
+    topo: Option<&Topology>,
+) -> ReplayOutcome {
+    let sim = boot(trace, kind, topo);
     let phases = trace
         .phases
         .iter()
@@ -149,12 +169,22 @@ pub fn replay_par(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
 /// tournament scales with host cores; each individual replay uses
 /// [`replay_par`] and is bit-identical to its serial counterpart.
 pub fn replay_many(trace: &RefTrace, kinds: &[PolicyKind]) -> Vec<ReplayOutcome> {
+    replay_many_with(trace, kinds, None)
+}
+
+/// [`replay_many`] on an explicit machine description (see
+/// [`replay_with`]).
+pub fn replay_many_with(
+    trace: &RefTrace,
+    kinds: &[PolicyKind],
+    topo: Option<&Topology>,
+) -> Vec<ReplayOutcome> {
     let mut out: Vec<Option<ReplayOutcome>> = Vec::new();
     out.resize_with(kinds.len(), || None);
     std::thread::scope(|s| {
         for (&kind, slot) in kinds.iter().zip(out.iter_mut()) {
             s.spawn(move || {
-                *slot = Some(replay_par(trace, kind));
+                *slot = Some(replay_par_with(trace, kind, topo));
             });
         }
     });

@@ -22,7 +22,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use numa_machine::{Machine, MachineConfig};
+use numa_machine::{Machine, MachineConfig, Topology};
 use platinum::trace::{TraceConfig, Tracer};
 use platinum::{
     AddressSpace, FaultPlan, Kernel, KernelConfig, PolicyKind, ReplicationPolicy, Rights,
@@ -42,6 +42,7 @@ pub struct SimBuilder {
     nodes: usize,
     machine: Option<MachineConfig>,
     frames_per_node: Option<usize>,
+    topology: Option<Topology>,
     policy: Option<Box<dyn ReplicationPolicy>>,
     kernel: KernelConfig,
     trace: Option<(PathBuf, TraceConfig)>,
@@ -55,6 +56,7 @@ impl SimBuilder {
             nodes,
             machine: None,
             frames_per_node: None,
+            topology: None,
             policy: None,
             kernel: KernelConfig::default(),
             trace: None,
@@ -72,6 +74,18 @@ impl SimBuilder {
     /// benchmarks replicate freely without frame exhaustion).
     pub fn frames_per_node(mut self, frames: usize) -> Self {
         self.frames_per_node = Some(frames);
+        self
+    }
+
+    /// Installs a machine description (interconnect latency classes).
+    /// Applies on top of whichever machine configuration the builder
+    /// ends up with — the default one or an explicit
+    /// [`SimBuilder::machine_config`] — so harnesses can vary the
+    /// interconnect without re-stating frame counts or timing knobs.
+    /// Without this, the machine resolves to the flat Butterfly built
+    /// from its `TimingConfig`.
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topology = Some(topo);
         self
     }
 
@@ -152,11 +166,14 @@ impl SimBuilder {
     /// Panics on an invalid machine configuration — simulation setup is
     /// programmer-controlled.
     pub fn build(self) -> Sim {
-        let mcfg = self.machine.unwrap_or_else(|| {
+        let mut mcfg = self.machine.unwrap_or_else(|| {
             let mut c = MachineConfig::with_nodes(self.nodes);
             c.frames_per_node = self.frames_per_node.unwrap_or(4096);
             c
         });
+        if self.topology.is_some() {
+            mcfg.topology = self.topology;
+        }
         let machine = Machine::new(mcfg).expect("valid machine config");
         let kernel = match self.policy {
             Some(policy) => Kernel::with_config(Arc::clone(&machine), policy, self.kernel),
@@ -322,6 +339,26 @@ mod tests {
             .policy_box(Box::new(platinum::PlatinumPolicy::paper_default()))
             .build();
         assert_eq!(sim.kernel.policy().name(), "platinum");
+    }
+
+    #[test]
+    fn builder_topology_applies_to_both_machine_paths() {
+        use numa_machine::{TimingConfig, Topology};
+        let t = TimingConfig::default();
+        // Default machine path.
+        let sim = SimBuilder::nodes(8)
+            .topology(Topology::hier2(8, 2, &t))
+            .build();
+        assert_eq!(sim.machine.topology().name(), "hier2");
+        // Explicit machine_config path: the topology still lands.
+        let sim = SimBuilder::nodes(8)
+            .machine_config(MachineConfig::with_nodes(8))
+            .topology(Topology::hier2(8, 2, &t))
+            .build();
+        assert_eq!(sim.machine.topology().name(), "hier2");
+        // No topology: the flat Butterfly default.
+        let sim = SimBuilder::nodes(2).build();
+        assert_eq!(sim.machine.topology().name(), "flat");
     }
 
     #[test]
