@@ -15,7 +15,7 @@
 //!
 //! Usage:
 //!   chaos_soak [--workload apps|kv] [--seeds 8] [--nodes 4] [--procs N]
-//!              [--ppm 25000] [--timeout-secs 120]
+//!              [--ppm 25000] [--timeout-secs 120] [--ptable PLACEMENT]
 //!
 //! `--workload apps` (default) soaks the three scientific applications.
 //! `--workload kv` soaks the server tier's key-value store instead: a
@@ -24,6 +24,13 @@
 //! asserts no slot is torn (a half-applied update breaks the value's
 //! arithmetic progression) and checksums the contents, so a lost or
 //! duplicated update diverges.
+//!
+//! `--ptable` selects the page-table placement for the kv workload
+//! (default `replicated_on_fault`, so the soak exercises the dropped
+//! ptable-invalidation fault site: replica invalidations piggyback on
+//! shootdown rounds, and a dropped one walks the same retry ladder as a
+//! dropped shootdown ack). Replica invalidation is timing-only, so the
+//! audit must still match the fault-free reference bit for bit.
 //!
 //! Exits nonzero on a correctness failure, a hang, or a soak that
 //! injected nothing (which would make the "survived chaos" claim vacuous).
@@ -34,7 +41,7 @@ use std::time::Duration;
 
 use numa_machine::MachineConfig;
 use platinum::trace::{EventKind, TraceConfig, TraceEvent};
-use platinum::{FaultPlan, FaultSite, StatsSnapshot};
+use platinum::{FaultPlan, FaultSite, PtableConfig, PtablePlacement, StatsSnapshot};
 use platinum_apps::gauss::{self, GaussConfig};
 use platinum_apps::harness::{run_gauss_chaos, run_mergesort_chaos, run_neural_chaos};
 use platinum_apps::mergesort::SortConfig;
@@ -68,7 +75,7 @@ fn with_watchdog<R: Send + 'static>(
 }
 
 fn injected(s: &StatsSnapshot) -> u64 {
-    s.mem_errors + s.shootdown_timeouts + s.transfer_faults + s.alloc_faults
+    s.mem_errors + s.shootdown_timeouts + s.transfer_faults + s.alloc_faults + s.pt_inval_drops
 }
 
 /// One live open-loop KV run, optionally under a fault plan: boots a
@@ -85,10 +92,11 @@ fn kv_soak_run(
     procs: usize,
     traffic: &TrafficConfig,
     plan: Option<Arc<FaultPlan>>,
+    ptable: PtableConfig,
 ) -> (KvAudit, StatsSnapshot, u64) {
     let mut mcfg = MachineConfig::with_nodes(nodes);
     mcfg.skew_window_ns = None;
-    let mut b = SimBuilder::nodes(nodes).machine_config(mcfg);
+    let mut b = SimBuilder::nodes(nodes).machine_config(mcfg).ptable(ptable);
     if let Some(plan) = plan {
         b = b.faults(plan);
     }
@@ -128,11 +136,12 @@ fn soak_kv(
     ppm: u32,
     timeout: Duration,
     traffic: &TrafficConfig,
+    ptable: PtableConfig,
 ) -> (u64, u64, usize) {
     let reference = {
         let traffic = traffic.clone();
         with_watchdog("kv (fault-free reference)", timeout, move || {
-            kv_soak_run(nodes, procs, &traffic, None)
+            kv_soak_run(nodes, procs, &traffic, None, ptable)
         })
         .0
     };
@@ -153,7 +162,7 @@ fn soak_kv(
         let (audit, stats, retries) = {
             let (traffic, plan) = (traffic.clone(), Arc::clone(&plan));
             with_watchdog(&format!("kv (seed {seed})"), timeout, move || {
-                kv_soak_run(nodes, procs, &traffic, Some(plan))
+                kv_soak_run(nodes, procs, &traffic, Some(plan), ptable)
             })
         };
         let ok = audit.occupied == reference.occupied && audit.checksum == reference.checksum;
@@ -282,7 +291,18 @@ fn main() {
                 mean_interarrival_ns: args.get_or("--kv-gap-ns", 10_000u64),
                 ..TrafficConfig::default()
             };
-            soak_kv(seeds, nodes, procs, ppm, timeout, &traffic)
+            // Replicated page tables by default so the soak reaches the
+            // dropped-ptable-invalidation site; --ptable centralized
+            // recovers the pre-fabric configuration.
+            let placement = args
+                .get::<String>("--ptable")
+                .map(|s| {
+                    s.parse::<PtablePlacement>()
+                        .unwrap_or_else(|e| panic!("--ptable: {e}"))
+                })
+                .unwrap_or(PtablePlacement::ReplicatedOnFault);
+            let ptable = PtableConfig::with_placement(placement);
+            soak_kv(seeds, nodes, procs, ppm, timeout, &traffic, ptable)
         }
         other => panic!("unknown workload {other:?} (expected apps or kv)"),
     };
@@ -310,7 +330,7 @@ fn main() {
             failures += 1;
         }
     }
-    let site_checks: [(EventKind, &[FaultSite]); 4] = [
+    let site_checks: [(EventKind, &[FaultSite]); 5] = [
         (
             EventKind::MemError,
             &[FaultSite::FrameRead, FaultSite::BlockTransfer],
@@ -321,6 +341,7 @@ fn main() {
             &[FaultSite::FrameRead, FaultSite::BlockTransfer],
         ),
         (EventKind::AllocFault, &[FaultSite::FrameAlloc]),
+        (EventKind::PtInvalDrop, &[FaultSite::PtableInval]),
     ];
     for (kind, sites) in site_checks {
         let fired = trace.count(kind);

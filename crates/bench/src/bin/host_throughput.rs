@@ -434,6 +434,13 @@ fn sweep_artifact(topo: &str, sweep: &[(usize, Vec<SweepCell>)]) -> String {
                                                                 c.ops,
                                                             )),
                                                         ),
+                                                        (
+                                                            "walk",
+                                                            Value::Num(per_op_ns(
+                                                                c.prof.walk_ns,
+                                                                c.ops,
+                                                            )),
+                                                        ),
                                                     ]),
                                                 ),
                                             ])
@@ -492,6 +499,7 @@ fn artifact(results: &[MixResult]) -> String {
                                     ("shootdown", Value::Num(per_op(r.prof.shootdown_ns, r))),
                                     ("transfer", Value::Num(per_op(r.prof.transfer_ns, r))),
                                     ("directory", Value::Num(per_op(r.prof.directory_ns, r))),
+                                    ("walk", Value::Num(per_op(r.prof.walk_ns, r))),
                                 ]),
                             ),
                         ])
@@ -545,6 +553,7 @@ fn main() {
             "shootdown ns/op",
             "transfer ns/op",
             "directory ns/op",
+            "walk ns/op",
         ]);
         for (p, cells) in &sweep {
             for c in cells {
@@ -556,6 +565,7 @@ fn main() {
                     format!("{:.0}", per_op_ns(c.prof.shootdown_ns, c.ops)),
                     format!("{:.0}", per_op_ns(c.prof.transfer_ns, c.ops)),
                     format!("{:.0}", per_op_ns(c.prof.directory_ns, c.ops)),
+                    format!("{:.0}", per_op_ns(c.prof.walk_ns, c.ops)),
                 ]);
             }
         }

@@ -29,14 +29,14 @@
 use std::fmt::Write as _;
 
 use numa_machine::{TimingConfig, Topology};
-use platinum::PolicyKind;
+use platinum::{PolicyKind, PtableConfig, PtablePlacement};
 use platinum_apps::capture::{
     record_gauss, record_kv, record_mergesort, record_neural, CapturedRun,
 };
 use platinum_apps::gauss::GaussConfig;
 use platinum_apps::mergesort::SortConfig;
 use platinum_apps::neural::NeuralConfig;
-use platinum_reftrace::{replay_many_with, replay_with};
+use platinum_reftrace::{replay_many_with, replay_par_cfg, replay_with};
 use platinum_server::{KvConfig, TrafficConfig};
 
 use crate::Args;
@@ -54,6 +54,11 @@ struct Row {
     remote_maps: u64,
     /// PLATINUM rows only: replay reproduced the live run exactly.
     bit_identical: Option<bool>,
+    /// PLATINUM rows only: elapsed time of the same trace replayed with
+    /// replicated page tables (`PtablePlacement::ReplicatedOnFault`)
+    /// instead of the centralized default — the replicated-vs-centralized
+    /// page-table comparison over an identical reference stream.
+    ptable_replicated_ns: Option<u64>,
 }
 
 fn remote_ratio(run: &platinum_runtime::measure::RunStats) -> f64 {
@@ -107,6 +112,34 @@ fn sweep(app: &str, captured: &CapturedRun, topo: Option<&Topology>) -> Vec<Row>
         } else {
             None
         };
+        // The replicated-page-table column: replay the identical stream
+        // once more under ReplicatedOnFault. The trace was captured with
+        // centralized tables, so live-vs-replay identity cannot hold
+        // here; what must hold is replay determinism — two replicated
+        // replays agree bit for bit — asserted by running it twice.
+        let ptable_replicated_ns = if kind == PolicyKind::Platinum {
+            let cfg = Some(PtableConfig::with_placement(
+                PtablePlacement::ReplicatedOnFault,
+            ));
+            let a = replay_par_cfg(&captured.trace, kind, topo, cfg);
+            let b = replay_par_cfg(&captured.trace, kind, topo, cfg);
+            let deterministic = a.phases.iter().zip(&b.phases).all(|(x, y)| {
+                x.stats
+                    .workers
+                    .iter()
+                    .zip(&y.stats.workers)
+                    .all(|(u, v)| u.vtime_ns == v.vtime_ns && u.counters == v.counters)
+            }) && a.kernel == b.kernel;
+            assert!(
+                deterministic,
+                "{app}: two replicated-ptable replays diverged ({} ns vs {} ns)",
+                a.measured_elapsed_ns(),
+                b.measured_elapsed_ns(),
+            );
+            Some(a.measured_elapsed_ns())
+        } else {
+            None
+        };
         rows.push(Row {
             app: app.to_string(),
             policy: kind.name(),
@@ -118,6 +151,7 @@ fn sweep(app: &str, captured: &CapturedRun, topo: Option<&Topology>) -> Vec<Row>
             migrations: out.kernel.migrations,
             remote_maps: out.kernel.remote_maps,
             bit_identical,
+            ptable_replicated_ns,
         });
     }
     rows
@@ -134,17 +168,21 @@ fn markdown(rows: &[Row]) -> String {
     let mut s = String::new();
     s.push_str(
         "| app | policy | vtime (ms) | remote refs | freezes | defrosts \
-         | replications | migrations | remote maps |\n",
+         | replications | migrations | remote maps | repl-ptable vtime (ms) |\n",
     );
-    s.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|\n");
+    s.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|\n");
     for r in rows {
         let check = match r.bit_identical {
             Some(true) => " *(= live run)*",
             _ => "",
         };
+        let ptable = match r.ptable_replicated_ns {
+            Some(ns) => format!("{:.3}", ns as f64 / 1e6),
+            None => "—".to_string(),
+        };
         let _ = writeln!(
             s,
-            "| {} | {}{} | {:.3} | {:.1}% | {} | {} | {} | {} | {} |",
+            "| {} | {}{} | {:.3} | {:.1}% | {} | {} | {} | {} | {} | {} |",
             r.app,
             r.policy,
             check,
@@ -155,6 +193,7 @@ fn markdown(rows: &[Row]) -> String {
             r.replications,
             r.migrations,
             r.remote_maps,
+            ptable,
         );
     }
     s
@@ -193,6 +232,9 @@ fn json(
         );
         if let Some(b) = r.bit_identical {
             let _ = write!(s, ",\"bit_identical\":{b}");
+        }
+        if let Some(ns) = r.ptable_replicated_ns {
+            let _ = write!(s, ",\"ptable_replicated_ns\":{ns}");
         }
         s.push('}');
     }

@@ -61,6 +61,10 @@ impl Kernel {
         // to run (its clock interrupt, in the paper's terms) before any
         // page locks are taken.
         self.maybe_defrost(ctx);
+        // Under the replicate-on-fault placement, the kernel builds this
+        // node's translation replica while it is already in the fault
+        // handler (one branch otherwise).
+        self.ptable_populate_on_fault(ctx);
 
         let vpn = ctx.space().vpn_of(va);
         // Cmap lookup, charged at the space's home node (§3.3: "the Cpage

@@ -8,6 +8,8 @@
 //! * [`policy`] — the replication policy family (§4.2),
 //! * `fault` — the coherent page fault handler (§3.3),
 //! * `shootdown` — the NUMA shootdown mechanism (§3.1),
+//! * `ptable` — the kernel side of the translation fabric: replica
+//!   population on faults and replica invalidation on shootdowns,
 //! * [`signal`] — lock-free slow-path synchronization flags,
 //! * `scratch` — per-processor allocation-free slow-path pools,
 //! * [`defrost`] — the defrost daemon (§4.2).
@@ -19,6 +21,7 @@ pub mod policy;
 pub mod signal;
 
 mod fault;
+pub(crate) mod ptable;
 pub(crate) mod reclaim;
 pub(crate) mod scratch;
 pub(crate) mod shootdown;

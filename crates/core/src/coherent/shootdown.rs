@@ -228,6 +228,11 @@ impl Kernel {
                 }
             }
             batch.posted.push((msg, awaited));
+            // Replicated page tables: the mapping change also stales the
+            // per-node translation replicas of this space. The
+            // invalidations piggyback on the IPI round just posted (one
+            // branch under the centralized default).
+            self.ptable_invalidate(ctx, &space, &targets);
         }
 
         self.finish_post(ctx, batch, page, &directive, &all_targets);
@@ -269,6 +274,9 @@ impl Kernel {
             }
         }
         batch.posted.push((msg, awaited));
+        // As in `batch_post`: stale the per-node translation replicas of
+        // the unmapped space, riding the IPI round just posted.
+        self.ptable_invalidate(ctx, space, targets);
         self.finish_post(ctx, batch, page, &directive, targets);
         self.hostprof.end(HostPhase::Shootdown, span);
     }

@@ -27,6 +27,8 @@ pub enum HostPhase {
     Transfer = 2,
     /// Directory and translation updates: message drains and `map_page`.
     Directory = 3,
+    /// Simulated page-table walks on ATC misses (the translation fabric).
+    Walk = 4,
 }
 
 /// Wall-clock nanoseconds spent per [`HostPhase`], collected only while
@@ -34,10 +36,10 @@ pub enum HostPhase {
 #[derive(Debug, Default)]
 pub struct HostProf {
     enabled: AtomicBool,
-    buckets: [AtomicU64; 4],
+    buckets: [AtomicU64; 5],
 }
 
-/// A point-in-time copy of the four buckets, in nanoseconds.
+/// A point-in-time copy of the five buckets, in nanoseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HostProfSnapshot {
     /// Total wall-clock inside the coherent fault handler.
@@ -48,6 +50,8 @@ pub struct HostProfSnapshot {
     pub transfer_ns: u64,
     /// Wall-clock updating directories: message drains and `map_page`.
     pub directory_ns: u64,
+    /// Wall-clock in simulated page-table walks (outside any fault).
+    pub walk_ns: u64,
 }
 
 impl HostProf {
@@ -88,6 +92,7 @@ impl HostProf {
             shootdown_ns: self.buckets[HostPhase::Shootdown as usize].load(Ordering::Relaxed),
             transfer_ns: self.buckets[HostPhase::Transfer as usize].load(Ordering::Relaxed),
             directory_ns: self.buckets[HostPhase::Directory as usize].load(Ordering::Relaxed),
+            walk_ns: self.buckets[HostPhase::Walk as usize].load(Ordering::Relaxed),
         }
     }
 }

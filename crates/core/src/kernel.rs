@@ -7,6 +7,7 @@ use parking_lot::{MutexGuard, RwLock};
 
 use numa_machine::{Machine, ProcCore};
 use platinum_faults::FaultPlan;
+use platinum_ptable::{PtableConfig, WalkSnapshot, WalkStats};
 use platinum_trace::{EventKind, Tracer};
 
 use crate::coherent::cpage::{Cpage, CpageInner, CpageTable};
@@ -62,6 +63,11 @@ pub struct KernelConfig {
     /// default) every injection hook is a single pointer test and the
     /// kernel behaves bit-identically to a build without the subsystem.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Translation-fabric configuration: how page-table walks are charged
+    /// and where translation structures live. The default (centralized
+    /// placement) charges nothing and emits nothing, so it is
+    /// bit-identical to a kernel without the subsystem.
+    pub ptable: PtableConfig,
 }
 
 impl Default for KernelConfig {
@@ -73,6 +79,7 @@ impl Default for KernelConfig {
             cmap_shards: crate::coherent::cmap::DEFAULT_SHARDS,
             policy: PolicyKind::Platinum,
             faults: None,
+            ptable: PtableConfig::default(),
         }
     }
 }
@@ -115,6 +122,11 @@ pub struct Kernel {
     pub(crate) reclaim: ReclaimState,
     pub(crate) threads: ThreadTable,
     pub(crate) hostprof: HostProf,
+    /// Translation-fabric tallies (walk/populate/invalidation virtual
+    /// time). Held outside [`KernelStats`]: the centralized placement
+    /// *accounts* walks here without charging or recording them, so this
+    /// state is deliberately invisible to the equivalence suites.
+    pub(crate) walk_stats: WalkStats,
 }
 
 impl Kernel {
@@ -166,6 +178,7 @@ impl Kernel {
             reclaim,
             threads: ThreadTable::new(),
             hostprof: HostProf::default(),
+            walk_stats: WalkStats::new(),
         })
     }
 
@@ -314,6 +327,13 @@ impl Kernel {
     /// [`HostProf::enable`] is called).
     pub fn host_prof(&self) -> &HostProf {
         &self.hostprof
+    }
+
+    /// A snapshot of the translation fabric's walk/populate/invalidation
+    /// tallies (virtual time, accounted per placement; see
+    /// [`WalkSnapshot`] for the derived locality metrics).
+    pub fn walk_snapshot(&self) -> WalkSnapshot {
+        self.walk_stats.snapshot()
     }
 
     /// Installs a protocol-event tracer (delegates to the machine, which

@@ -79,6 +79,11 @@ pub use kernel::{Kernel, KernelConfig, ShootdownMode};
 /// need not depend on `platinum-faults` directly).
 pub use platinum_faults as faults;
 pub use platinum_faults::{FaultPlan, FaultSite};
+/// The translation fabric: NUMA-charged page-table walks and per-node
+/// Pmap replicas (re-exported so downstream crates need not depend on
+/// `platinum-ptable` directly).
+pub use platinum_ptable as ptable;
+pub use platinum_ptable::{PtableConfig, PtablePlacement, WalkSnapshot};
 /// The protocol-event tracer (re-exported so downstream crates need not
 /// depend on `platinum-trace` directly).
 pub use platinum_trace as trace;

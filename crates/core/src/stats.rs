@@ -107,6 +107,10 @@ impl KernelStats {
             alloc_faults: self.count(EventKind::AllocFault),
             fault_recoveries: self.count(EventKind::FaultRecovery),
             server_requests: self.count(EventKind::ServerRequest),
+            pt_walks: self.count(EventKind::PtWalk),
+            pt_populates: self.count(EventKind::PtPopulate),
+            pt_invals: self.count(EventKind::PtInval),
+            pt_inval_drops: self.count(EventKind::PtInvalDrop),
         }
     }
 }
@@ -153,6 +157,17 @@ pub struct StatsSnapshot {
     pub fault_recoveries: u64,
     /// Requests completed by the server workload tier.
     pub server_requests: u64,
+    /// Charged page-table walks performed by the translation fabric
+    /// (zero under the centralized placement, which accounts walks
+    /// without charging them).
+    pub pt_walks: u64,
+    /// Per-node translation-replica populations.
+    pub pt_populates: u64,
+    /// Translation-replica stale marks written into shootdown rounds
+    /// (one per round that staled at least one replica).
+    pub pt_invals: u64,
+    /// Injected drops of translation-replica stale marks.
+    pub pt_inval_drops: u64,
 }
 
 impl StatsSnapshot {
@@ -187,12 +202,20 @@ impl StatsSnapshot {
                 .fault_recoveries
                 .saturating_sub(earlier.fault_recoveries),
             server_requests: self.server_requests.saturating_sub(earlier.server_requests),
+            pt_walks: self.pt_walks.saturating_sub(earlier.pt_walks),
+            pt_populates: self.pt_populates.saturating_sub(earlier.pt_populates),
+            pt_invals: self.pt_invals.saturating_sub(earlier.pt_invals),
+            pt_inval_drops: self.pt_inval_drops.saturating_sub(earlier.pt_inval_drops),
         }
     }
 
     /// Total injected faults observed, across every injection site.
     pub fn injected_faults(&self) -> u64 {
-        self.mem_errors + self.shootdown_timeouts + self.transfer_faults + self.alloc_faults
+        self.mem_errors
+            + self.shootdown_timeouts
+            + self.transfer_faults
+            + self.alloc_faults
+            + self.pt_inval_drops
     }
 }
 
@@ -217,11 +240,17 @@ impl fmt::Display for StatsSnapshot {
         if self.server_requests > 0 {
             writeln!(f, "  server requests   {:>10}", self.server_requests)?;
         }
+        if self.pt_walks + self.pt_populates + self.pt_invals > 0 {
+            writeln!(f, "  pt walks          {:>10}", self.pt_walks)?;
+            writeln!(f, "  pt populates      {:>10}", self.pt_populates)?;
+            writeln!(f, "  pt invalidations  {:>10}", self.pt_invals)?;
+        }
         if self.injected_faults() + self.fault_recoveries > 0 {
             writeln!(f, "  mem errors        {:>10}", self.mem_errors)?;
             writeln!(f, "  ack timeouts      {:>10}", self.shootdown_timeouts)?;
             writeln!(f, "  transfer faults   {:>10}", self.transfer_faults)?;
             writeln!(f, "  alloc faults      {:>10}", self.alloc_faults)?;
+            writeln!(f, "  pt inval drops    {:>10}", self.pt_inval_drops)?;
             writeln!(f, "  fault recoveries  {:>10}", self.fault_recoveries)?;
         }
         Ok(())

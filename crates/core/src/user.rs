@@ -6,6 +6,7 @@ use std::sync::Arc;
 use numa_machine::{
     AccessErr, AccessKind, FastPath, Frame, Mem, PhysPage, ProcCore, ProcSet, Va, Vpn,
 };
+use platinum_ptable::{PtableConfig, PtablePlacement};
 use platinum_trace::EventKind;
 
 use crate::coherent::cmap::{CmapMsg, Directive};
@@ -38,6 +39,10 @@ pub struct UserCtx {
     /// Cached `space.asid()`, kept in sync by [`UserCtx::switch_space`];
     /// read on the access fast path.
     asid: u32,
+    /// Cached copy of the kernel's translation-fabric configuration, so
+    /// the ATC-miss path tests one local flag instead of chasing the
+    /// kernel config.
+    pub(crate) ptable: PtableConfig,
     thread: ThreadId,
     /// Reusable slow-path buffers; see [`FaultScratch`].
     pub(crate) scratch: FaultScratch,
@@ -48,6 +53,7 @@ impl UserCtx {
         let page_shift = kernel.machine().cfg().page_shift;
         let thread = kernel.threads.register(core.id(), space.id());
         let asid = space.asid();
+        let ptable = kernel.config().ptable;
         let mut ctx = Self {
             kernel,
             core,
@@ -55,6 +61,7 @@ impl UserCtx {
             pmap: Pmap::new(),
             page_shift,
             asid,
+            ptable,
             thread,
             scratch: FaultScratch::default(),
         };
@@ -336,19 +343,101 @@ impl UserCtx {
         loop {
             self.enter();
             let asid = self.space.asid();
-            if let Some((pp, w)) = self.core.atc().lookup(asid, vpn) {
-                if !write || w {
-                    return Ok(pp);
+            match self.core.atc().lookup(asid, vpn) {
+                Some((pp, w)) => {
+                    // A rights fault is not a miss: the hardware already
+                    // holds the translation, so no walk happens.
+                    if !write || w {
+                        return Ok(pp);
+                    }
                 }
-            } else if let Some(e) = self.pmap.lookup(self.space.id(), vpn) {
-                if !write || e.writable {
-                    self.core.atc_insert(asid, vpn, e.pp, e.writable);
-                    return Ok(e.pp);
+                None => {
+                    // A true ATC miss: the hardware walks the page
+                    // tables before the Pmap (software) lookup decides
+                    // whether to trap.
+                    if self.ptable.accounting {
+                        self.pt_walk(vpn);
+                    }
+                    if let Some(e) = self.pmap.lookup(self.space.id(), vpn) {
+                        if !write || e.writable {
+                            self.core.atc_insert(asid, vpn, e.pp, e.writable);
+                            return Ok(e.pp);
+                        }
+                    }
                 }
             }
             let kernel = Arc::clone(&self.kernel);
             kernel.coherent_fault(self, va, write)?;
         }
+    }
+
+    /// One simulated multi-level page-table walk on an ATC miss — the
+    /// translation fabric's charge point. Exactly one walk happens per
+    /// faulting access: the fault installs the ATC entry, so the retry
+    /// iteration hits.
+    ///
+    /// Under the centralized placement the walk is *accounted* but not
+    /// charged: pure arithmetic against the resolved latency to the
+    /// space's home, tallied outside every equivalence-compared
+    /// observable, which keeps the default bit-identical to a kernel
+    /// without the subsystem. The charged placements move the clock
+    /// through the contention-aware module path and record a `PtWalk`.
+    #[cold]
+    fn pt_walk(&mut self, vpn: Vpn) {
+        let cfg = self.ptable;
+        let span = self.kernel.hostprof.begin();
+        let me = self.core.id();
+        let refs = u64::from(cfg.walk_refs());
+        if cfg.placement == PtablePlacement::Centralized {
+            let home = self.space.home();
+            let ns = refs * self.core.word_latency_to(home, AccessKind::Read);
+            self.kernel.walk_stats.record_walk(me, ns, home == me);
+        } else {
+            let target = match cfg.placement {
+                PtablePlacement::Centralized => unreachable!("handled above"),
+                PtablePlacement::HomeNode => self.space.replica().home(),
+                PtablePlacement::ReplicatedAll => {
+                    // Every node earns a replica on its first walk.
+                    if self.space.replica().join(me) {
+                        let home = self.space.replica().home();
+                        let t0 = self.core.vtime();
+                        self.core.charge_word_block(
+                            PhysPage::new(home, 0),
+                            AccessKind::Read,
+                            u64::from(cfg.populate_refs),
+                        );
+                        let ns = self.core.vtime() - t0;
+                        self.kernel.walk_stats.record_populate(me, ns);
+                        self.kernel.record(
+                            me,
+                            self.core.vtime(),
+                            EventKind::PtPopulate,
+                            cfg.placement as u8,
+                            u64::from(self.space.id().0),
+                            ns,
+                        );
+                    }
+                    me
+                }
+                PtablePlacement::ReplicatedOnFault => self.space.replica().walk_target(me),
+            };
+            let t0 = self.core.vtime();
+            self.core
+                .charge_word_block(PhysPage::new(target, 0), AccessKind::Read, refs);
+            let ns = self.core.vtime() - t0;
+            self.kernel.walk_stats.record_walk(me, ns, target == me);
+            self.kernel.record(
+                me,
+                self.core.vtime(),
+                EventKind::PtWalk,
+                cfg.placement as u8,
+                vpn,
+                ns,
+            );
+        }
+        self.kernel
+            .hostprof
+            .end(crate::hostprof::HostPhase::Walk, span);
     }
 
     /// Continues translation after a [`ProcCore::fast_path`] probe came
@@ -360,6 +449,9 @@ impl UserCtx {
     fn translate_after_probe(&mut self, va: Va, write: bool, missed: bool) -> Result<PhysPage> {
         if missed {
             let vpn = self.vpn_of(va);
+            if self.ptable.accounting {
+                self.pt_walk(vpn);
+            }
             if let Some(e) = self.pmap.lookup(self.space.id(), vpn) {
                 if !write || e.writable {
                     self.core.atc_insert(self.asid, vpn, e.pp, e.writable);

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use numa_machine::{Va, Vpn};
+use platinum_ptable::PmapReplica;
 
 use crate::coherent::cmap::Cmap;
 use crate::error::{KernelError, Result};
@@ -60,6 +61,10 @@ pub struct AddressSpace {
     page_shift: u32,
     regions: RwLock<Vec<Region>>,
     cmap: Cmap,
+    /// Which nodes hold a populated translation replica for this space
+    /// (the replicated placements of the translation fabric; unused —
+    /// and never touched — under the centralized default).
+    replica: PmapReplica,
     /// Bump pointer for `map_anywhere`.
     next_free_vpn: AtomicU64,
 }
@@ -78,6 +83,7 @@ impl AddressSpace {
             page_shift,
             regions: RwLock::new(Vec::new()),
             cmap: Cmap::with_shards(cmap_shards, nprocs),
+            replica: PmapReplica::new(home, nprocs),
             // Leave page 0 unmapped so null-ish addresses fault.
             next_free_vpn: AtomicU64::new(1),
         }
@@ -101,6 +107,12 @@ impl AddressSpace {
     /// The space's Cmap.
     pub fn cmap(&self) -> &Cmap {
         &self.cmap
+    }
+
+    /// The space's translation-replica directory: which nodes hold a
+    /// populated per-node copy of its translation structures.
+    pub fn replica(&self) -> &PmapReplica {
+        &self.replica
     }
 
     /// Converts a byte address to a virtual page number.

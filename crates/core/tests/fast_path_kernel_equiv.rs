@@ -194,7 +194,11 @@ fn fast_path_equivalence_holds_under_injection() {
 /// with a local replica of every page). Compares the 1-shard and
 /// 16-shard directories and the per-page protocol timeline recorded by
 /// the tracer.
-type StressOutcome = (Vec<(u64, Rights, ProcSet)>, Vec<(u64, usize)>, StatsSnapshot);
+type StressOutcome = (
+    Vec<(u64, Rights, ProcSet)>,
+    Vec<(u64, usize)>,
+    StatsSnapshot,
+);
 
 fn run_stress(cmap_shards: usize) -> StressOutcome {
     const P: usize = 8;

@@ -34,11 +34,15 @@ pub enum FaultSite {
     BlockTransfer = 2,
     /// A memory module refuses a frame allocation.
     FrameAlloc = 3,
+    /// A page-table replica invalidation is lost in transit: the holder
+    /// node keeps walking a stale translation replica until the initiator
+    /// times out and resends (escalating to dropping the replica).
+    PtableInval = 4,
 }
 
 impl FaultSite {
     /// Number of sites (rate tables are sized by this).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every site, in discriminant order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -46,6 +50,7 @@ impl FaultSite {
         FaultSite::ShootdownAck,
         FaultSite::BlockTransfer,
         FaultSite::FrameAlloc,
+        FaultSite::PtableInval,
     ];
 
     /// Decodes a discriminant produced by `site as u8`.
@@ -60,6 +65,7 @@ impl FaultSite {
             FaultSite::ShootdownAck => "shootdown_ack",
             FaultSite::BlockTransfer => "block_transfer",
             FaultSite::FrameAlloc => "frame_alloc",
+            FaultSite::PtableInval => "ptable_inval",
         }
     }
 }

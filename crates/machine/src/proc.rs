@@ -478,6 +478,16 @@ impl ProcCore {
         }
     }
 
+    /// The resolved word latency this processor pays against the module
+    /// on `to`, without charging anything. The translation fabric uses
+    /// this to *account* walk costs under its uncharged (centralized)
+    /// placement: pure arithmetic, no module reservation, no clock
+    /// movement.
+    #[inline]
+    pub fn word_latency_to(&self, to: usize, kind: AccessKind) -> u64 {
+        self.lat[to][kind as usize]
+    }
+
     /// Charges a kernel data-structure reference homed on `module`.
     ///
     /// The paper's fault-handler timings differ by ~40 us depending on

@@ -566,4 +566,90 @@ mod tests {
         let s: ProcSet = [2usize, 65].into_iter().collect();
         assert_eq!(format!("{s:?}"), "{2, 65}");
     }
+
+    /// The translation fabric keeps replica directories as
+    /// `AtomicProcSet`s sized to the machine; the 63/64/65 widths
+    /// straddle the inline-word/spill boundary, where a width or
+    /// capacity bug would silently truncate the top processor.
+    #[test]
+    fn replica_population_at_spill_boundary() {
+        for nprocs in [63usize, 64, 65] {
+            let holders = AtomicProcSet::with_capacity(nprocs);
+            for p in 0..nprocs {
+                // Contains-then-insert, as `PmapReplica::join` does.
+                assert!(!holders.contains(p), "nprocs={nprocs} p={p}");
+                holders.insert(p);
+            }
+            let set = holders.load();
+            assert_eq!(set.count(), nprocs, "nprocs={nprocs}");
+            assert_eq!(set, ProcSet::full(nprocs), "nprocs={nprocs}");
+            holders.remove(nprocs - 1);
+            assert_eq!(holders.load().count(), nprocs - 1, "nprocs={nprocs}");
+        }
+    }
+
+    /// Concurrent insert/remove/load at each boundary width: every
+    /// processor races to flip its own bit while a reader snapshots.
+    /// Each bit lands in exactly one word, so the final set must hold
+    /// precisely the ids whose last operation was an insert.
+    #[test]
+    fn atomic_cas_races_at_spill_boundary() {
+        for nprocs in [63usize, 64, 65] {
+            let holders = AtomicProcSet::with_capacity(nprocs);
+            std::thread::scope(|s| {
+                for p in 0..nprocs {
+                    let holders = &holders;
+                    s.spawn(move || {
+                        for round in 0..200 {
+                            holders.insert(p);
+                            // Snapshots may be torn across words but
+                            // must never invent a member.
+                            let seen = holders.load();
+                            for q in seen.iter() {
+                                assert!(q < nprocs, "phantom member {q} (nprocs={nprocs})");
+                            }
+                            if (p + round) % 3 == 0 {
+                                holders.remove(p);
+                            }
+                        }
+                        holders.insert(p); // last word: everyone ends a member
+                    });
+                }
+            });
+            assert_eq!(holders.load(), ProcSet::full(nprocs), "nprocs={nprocs}");
+        }
+    }
+
+    /// The shootdown-batch targeting round-trip the fabric performs on
+    /// every mapping change: holders ∩ round targets, minus the
+    /// initiator — exercised across the boundary so the intersection
+    /// mixes inline and spilled operands.
+    #[test]
+    fn replica_targeting_roundtrip_at_spill_boundary() {
+        for nprocs in [63usize, 64, 65] {
+            let holders = AtomicProcSet::with_capacity(nprocs);
+            // Even processors hold replicas.
+            for p in (0..nprocs).step_by(2) {
+                holders.insert(p);
+            }
+            // The shootdown round targets the top three processors.
+            let targets: ProcSet = (nprocs - 3..nprocs).collect();
+            let me = nprocs - 1;
+            let staled = holders.load().intersect(&targets).without(me);
+            let expect: Vec<usize> = (nprocs - 3..nprocs - 1).filter(|p| p % 2 == 0).collect();
+            assert_eq!(staled.iter().collect::<Vec<_>>(), expect, "nprocs={nprocs}");
+            // Escalation drops the staled holders; the survivors are the
+            // even processors outside the round.
+            for p in staled.iter() {
+                holders.remove(p);
+            }
+            let left = holders.load();
+            assert_eq!(
+                left.count(),
+                (0..nprocs).step_by(2).count() - expect.len(),
+                "nprocs={nprocs}"
+            );
+            assert!(!left.intersects(&staled), "nprocs={nprocs}");
+        }
+    }
 }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use numa_machine::{MachineConfig, Mem, Topology, Va};
 use parking_lot::Mutex;
-use platinum::{Kernel, PolicyKind, StatsSnapshot, UserCtx};
+use platinum::{Kernel, PolicyKind, PtableConfig, StatsSnapshot, UserCtx};
 use platinum_runtime::measure::{RunStats, WorkerStats};
 use platinum_runtime::sim::{Sim, SimBuilder};
 use platinum_runtime::zones::Zone;
@@ -90,6 +90,15 @@ impl Capture {
     /// mean anything; with `None` the machine is the flat Butterfly and
     /// plain `replay` matches.
     pub fn on_topology(nodes: usize, topo: Option<&Topology>) -> Self {
+        Self::on_config(nodes, topo, None)
+    }
+
+    /// Like [`Capture::on_topology`] with an explicit translation-fabric
+    /// configuration. As with the topology, the trace format does not
+    /// record the ptable config — a replay must be handed the same one
+    /// (`replay_cfg`) for bit-identity to hold; `None` boots the default
+    /// centralized placement and `replay_with` matches.
+    pub fn on_config(nodes: usize, topo: Option<&Topology>, ptable: Option<PtableConfig>) -> Self {
         let mut mc = MachineConfig::with_nodes(nodes);
         mc.frames_per_node = 4096;
         mc.skew_window_ns = None;
@@ -98,6 +107,9 @@ impl Capture {
             .policy_kind(PolicyKind::Platinum);
         if let Some(t) = topo {
             b = b.topology(t.clone());
+        }
+        if let Some(p) = ptable {
+            b = b.ptable(p);
         }
         let sim = b.build();
         Self {

@@ -19,7 +19,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use numa_machine::{MachineConfig, Mem, Topology};
-use platinum::{PolicyKind, StatsSnapshot, UserCtx};
+use platinum::{PolicyKind, PtableConfig, StatsSnapshot, UserCtx};
 use platinum_runtime::measure::{RunStats, WorkerStats};
 use platinum_runtime::sim::{Sim, SimBuilder};
 
@@ -78,7 +78,12 @@ impl ReplayOutcome {
 }
 
 /// Boots a replay machine matching the capture machine.
-fn boot(trace: &RefTrace, kind: PolicyKind, topo: Option<&Topology>) -> Sim {
+fn boot(
+    trace: &RefTrace,
+    kind: PolicyKind,
+    topo: Option<&Topology>,
+    ptable: Option<PtableConfig>,
+) -> Sim {
     let mut mc = MachineConfig::with_nodes(trace.nodes);
     mc.frames_per_node = trace.frames_per_node;
     mc.page_shift = trace.page_shift;
@@ -88,6 +93,9 @@ fn boot(trace: &RefTrace, kind: PolicyKind, topo: Option<&Topology>) -> Sim {
         .policy_kind(kind);
     if let Some(t) = topo {
         b = b.topology(t.clone());
+    }
+    if let Some(p) = ptable {
+        b = b.ptable(p);
     }
     let sim = b.build();
     for &pages in &trace.zones {
@@ -108,7 +116,24 @@ pub fn replay(trace: &RefTrace, kind: PolicyKind) -> ReplayOutcome {
 /// capture machine's (the trace does not record it): the bit-identity
 /// guarantee holds per-topology, not across them.
 pub fn replay_with(trace: &RefTrace, kind: PolicyKind, topo: Option<&Topology>) -> ReplayOutcome {
-    let sim = boot(trace, kind, topo);
+    replay_cfg(trace, kind, topo, None)
+}
+
+/// [`replay_with`], additionally booting the replay kernel with an
+/// explicit page-table fabric configuration. The trace format does not
+/// record the ptable config; for bit-identity against the capture run,
+/// pass the same config the capture machine used (`None` means the
+/// centralized default, matching [`replay`]). Any config yields a
+/// deterministic replay — same trace + policy + config → identical
+/// virtual times — because walk charging and replica population happen
+/// at gate-ordered points.
+pub fn replay_cfg(
+    trace: &RefTrace,
+    kind: PolicyKind,
+    topo: Option<&Topology>,
+    ptable: Option<PtableConfig>,
+) -> ReplayOutcome {
+    let sim = boot(trace, kind, topo, ptable);
     let phases = trace
         .phases
         .iter()
@@ -150,7 +175,18 @@ pub fn replay_par_with(
     kind: PolicyKind,
     topo: Option<&Topology>,
 ) -> ReplayOutcome {
-    let sim = boot(trace, kind, topo);
+    replay_par_cfg(trace, kind, topo, None)
+}
+
+/// [`replay_par_with`] with an explicit page-table fabric configuration
+/// (see [`replay_cfg`]).
+pub fn replay_par_cfg(
+    trace: &RefTrace,
+    kind: PolicyKind,
+    topo: Option<&Topology>,
+    ptable: Option<PtableConfig>,
+) -> ReplayOutcome {
+    let sim = boot(trace, kind, topo, ptable);
     let phases = trace
         .phases
         .iter()

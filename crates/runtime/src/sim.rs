@@ -25,8 +25,8 @@ use std::sync::Arc;
 use numa_machine::{Machine, MachineConfig, Topology};
 use platinum::trace::{TraceConfig, Tracer};
 use platinum::{
-    AddressSpace, FaultPlan, Kernel, KernelConfig, PolicyKind, ReplicationPolicy, Rights,
-    ShootdownMode, UserCtx,
+    AddressSpace, FaultPlan, Kernel, KernelConfig, PolicyKind, PtableConfig, ReplicationPolicy,
+    Rights, ShootdownMode, UserCtx,
 };
 
 use crate::measure::RunStats;
@@ -155,6 +155,15 @@ impl SimBuilder {
     /// injection hook in the kernel is a single pointer test.
     pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
         self.kernel.faults = Some(plan);
+        self
+    }
+
+    /// Configures the translation fabric: how page-table walks are
+    /// charged and where translation structures live. The default
+    /// (centralized placement) is bit-identical to a kernel without the
+    /// subsystem.
+    pub fn ptable(mut self, cfg: PtableConfig) -> Self {
+        self.kernel.ptable = cfg;
         self
     }
 

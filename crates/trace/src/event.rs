@@ -34,6 +34,10 @@
 /// | `AllocFault` | probe attempt | coherent page id | refusing module |
 /// | `FaultRecovery` | [`FaultSite`] | coherent page id | begin vtime (ns) |
 /// | `ServerRequest` | 0=read 1=write 2=pipeline | request key | latency (ns) |
+/// | `PtWalk` | placement code | faulting vpn | walk cost (ns) |
+/// | `PtPopulate` | placement code | space id | populate cost (ns) |
+/// | `PtInval` | 0 | space id | staled holder count |
+/// | `PtInvalDrop` | retry attempt | space id | staled holder count |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum EventKind {
@@ -95,11 +99,26 @@ pub enum EventKind {
     /// request class (0 read, 1 write, 2 pipeline), `page` the request
     /// key, `arg` the request's virtual-time latency in ns.
     ServerRequest = 26,
+    /// A simulated page-table walk on an ATC miss (translation fabric);
+    /// `code` is the placement, `page` the faulting vpn, `arg` the ns
+    /// charged for the walk.
+    PtWalk = 27,
+    /// A node populated its translation replica for a space; `code` is
+    /// the placement, `page` the space id, `arg` the ns charged.
+    PtPopulate = 28,
+    /// A translation-replica stale mark was written into a shootdown
+    /// round's message; `page` is the space id, `arg` the number of
+    /// holder replicas it stales.
+    PtInval = 29,
+    /// An injected drop of a translation-replica stale mark: the
+    /// initiator timed out and rewrote it (`code` is the retry
+    /// attempt).
+    PtInvalDrop = 30,
 }
 
 impl EventKind {
     /// Number of kinds (counters and decode tables are sized by this).
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 31;
 
     /// Every kind, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -130,6 +149,10 @@ impl EventKind {
         EventKind::AllocFault,
         EventKind::FaultRecovery,
         EventKind::ServerRequest,
+        EventKind::PtWalk,
+        EventKind::PtPopulate,
+        EventKind::PtInval,
+        EventKind::PtInvalDrop,
     ];
 
     /// Decodes a discriminant produced by `kind as u8`.
@@ -167,6 +190,10 @@ impl EventKind {
             EventKind::AllocFault => "alloc_fault",
             EventKind::FaultRecovery => "fault_recovery",
             EventKind::ServerRequest => "server_request",
+            EventKind::PtWalk => "pt_walk",
+            EventKind::PtPopulate => "pt_populate",
+            EventKind::PtInval => "pt_inval",
+            EventKind::PtInvalDrop => "pt_inval_drop",
         }
     }
 
